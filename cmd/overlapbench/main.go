@@ -1,0 +1,170 @@
+// Command overlapbench regenerates the paper's tables and figures on the
+// simulated machine.
+//
+// Usage:
+//
+//	overlapbench [-n dim] [-csv dir] [experiment ...]
+//
+// Experiments: fig3, fig4, fig5, fig6, table1, table2, table3, table4,
+// table5 (the paper's artifacts), plus the extensions solver
+// (pipelined-CG future work), algos (2D/3D/2.5D family comparison),
+// ablate (design-knob sensitivity), sparse (block-sparse SUMMA), scaling
+// (strong scaling) and report (all paper claims checked with verdicts);
+// "all" (the default) runs everything except report. -n overrides the
+// matrix dimension for the kernel tables (default: the paper's 1hsg_70,
+// N = 7645). -csv also writes each experiment's data as <dir>/<id>.csv.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"commoverlap/internal/bench"
+)
+
+func main() {
+	n := flag.Int("n", 0, "matrix dimension for kernel tables (0 = paper's 1hsg_70)")
+	csvDir := flag.String("csv", "", "directory to write <experiment>.csv files into")
+	flag.Parse()
+	exps := flag.Args()
+	if len(exps) == 0 {
+		exps = []string{"all"}
+	}
+	want := map[string]bool{}
+	for _, e := range exps {
+		want[e] = true
+	}
+	all := want["all"]
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	csvOut := func(id string, write func(f *os.File) error) {
+		if *csvDir == "" {
+			return
+		}
+		path := filepath.Join(*csvDir, id+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := write(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  [wrote %s]\n", path)
+	}
+
+	run := func(id string, fn func() error) {
+		if !all && !want[id] {
+			return
+		}
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  [%s regenerated in %.1fs wall time]\n\n", id, time.Since(start).Seconds())
+	}
+
+	systems := func() []bench.System {
+		if *n != 0 {
+			return []bench.System{{Name: "custom", N: *n}}
+		}
+		return nil
+	}
+
+	run("fig3", func() error {
+		res, err := bench.Fig3(os.Stdout)
+		if err != nil {
+			return err
+		}
+		csvOut("fig3", func(f *os.File) error { return res.WriteCSV(f) })
+		return nil
+	})
+	run("fig4", func() error { bench.Fig4(os.Stdout); return nil })
+	run("fig5", func() error {
+		res, err := bench.Fig5(os.Stdout)
+		if err != nil {
+			return err
+		}
+		csvOut("fig5", func(f *os.File) error { return res.WriteCSV(f) })
+		return nil
+	})
+	run("fig6", func() error {
+		res, err := bench.Fig6(os.Stdout)
+		if err != nil {
+			return err
+		}
+		csvOut("fig6", func(f *os.File) error { return res.WriteCSV(f) })
+		return nil
+	})
+	run("table1", func() error {
+		rows, err := bench.Table1(os.Stdout, systems())
+		if err != nil {
+			return err
+		}
+		csvOut("table1", func(f *os.File) error { return bench.Table1CSV(f, rows) })
+		return nil
+	})
+	run("table2", func() error {
+		rows, err := bench.Table2(os.Stdout, systems())
+		if err != nil {
+			return err
+		}
+		csvOut("table2", func(f *os.File) error { return bench.Table2CSV(f, rows) })
+		return nil
+	})
+	run("table3", func() error {
+		rows, err := bench.Table3(os.Stdout, *n)
+		if err != nil {
+			return err
+		}
+		csvOut("table3", func(f *os.File) error { return bench.Table3CSV(f, rows) })
+		return nil
+	})
+	run("table4", func() error {
+		rows, err := bench.Table4(os.Stdout, *n)
+		if err != nil {
+			return err
+		}
+		csvOut("table4", func(f *os.File) error { return bench.Table4CSV(f, rows) })
+		return nil
+	})
+	run("table5", func() error {
+		rows, err := bench.Table5(os.Stdout, *n)
+		if err != nil {
+			return err
+		}
+		csvOut("table5", func(f *os.File) error { return bench.Table5CSV(f, rows) })
+		return nil
+	})
+	// Extensions beyond the paper's evaluation (also included in "all").
+	run("solver", func() error { _, err := bench.Solver(os.Stdout); return err })
+	run("algos", func() error { _, err := bench.Algos(os.Stdout, *n); return err })
+	run("ablate", func() error { _, err := bench.Ablate(os.Stdout, *n); return err })
+	run("sparse", func() error { _, err := bench.Sparse(os.Stdout, 0); return err })
+	run("scaling", func() error { _, err := bench.Scaling(os.Stdout, *n); return err })
+	// report re-runs the whole evaluation, so it only fires when asked for
+	// by name, never as part of "all".
+	if want["report"] {
+		start := time.Now()
+		_, failures, err := bench.Report(os.Stdout)
+		if err == nil && failures > 0 {
+			err = fmt.Errorf("%d claims failed", failures)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "report: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  [report regenerated in %.1fs wall time]\n\n", time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,137 @@
+// Command purifydemo runs canonical density-matrix purification end to end
+// on the simulated cluster: it builds a synthetic Hamiltonian, purifies it
+// serially as a reference, then distributes it over the chosen
+// matrix-multiplication engine — the paper's 3D kernel (any variant), the
+// 2.5D/Cannon kernel, or 2D SUMMA — comparing results and reporting
+// virtual-time performance. All engines drive the same purification logic
+// through the core.SquareCuber interface.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+
+	"commoverlap/internal/core"
+	"commoverlap/internal/mat"
+	"commoverlap/internal/mesh"
+	"commoverlap/internal/mpi"
+	"commoverlap/internal/purify"
+	"commoverlap/internal/sim"
+	"commoverlap/internal/simnet"
+)
+
+func main() {
+	n := flag.Int("n", 96, "matrix dimension")
+	ne := flag.Int("ne", 20, "electron count (target trace)")
+	p := flag.Int("p", 2, "mesh edge")
+	ndup := flag.Int("ndup", 4, "N_DUP pipeline width")
+	kernel := flag.String("kernel", "optimized",
+		"engine: original|baseline|optimized (3D), cannon (2.5D), summa (2D)")
+	c := flag.Int("c", 2, "replication factor for -kernel cannon")
+	flag.Parse()
+
+	f := mat.BandedHamiltonian(*n, 4)
+	wantD, wantSt, err := purify.Serial(f, purify.Options{Ne: *ne})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("serial reference: converged=%v iters=%d idempotency=%.2e trace err=%.2e\n",
+		wantSt.Converged, wantSt.Iters, wantSt.IdemErr, wantSt.TraceErr)
+
+	// World size and per-rank kernel construction depend on the engine.
+	var ranks int
+	build := func(pr *mpi.Proc) core.SquareCuber { return nil }
+	cfg := core.Config{N: *n, NDup: *ndup, Real: true}
+	switch *kernel {
+	case "original", "baseline", "optimized":
+		v := map[string]core.Variant{
+			"original": core.Original, "baseline": core.Baseline, "optimized": core.Optimized,
+		}[*kernel]
+		dims := mesh.Cubic(*p)
+		ranks = dims.Size()
+		build = func(pr *mpi.Proc) core.SquareCuber {
+			env, err := core.NewEnv(pr, dims, cfg)
+			if err != nil {
+				panic(err)
+			}
+			return core.Kernel3D{Env: env, Variant: v}
+		}
+	case "cannon":
+		dims := mesh.Dims{Q: *p * *c, C: *c} // q must be a multiple of c
+		ranks = dims.Size()
+		build = func(pr *mpi.Proc) core.SquareCuber {
+			env, err := core.NewEnv25(pr, dims, cfg)
+			if err != nil {
+				panic(err)
+			}
+			return core.Kernel25D{Env: env}
+		}
+	case "summa":
+		ranks = *p * *p
+		build = func(pr *mpi.Proc) core.SquareCuber {
+			env, err := core.NewEnv2D(pr, *p, cfg)
+			if err != nil {
+				panic(err)
+			}
+			return core.Kernel2D{Env: env, Pipelined: *ndup > 1}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown kernel %q\n", *kernel)
+		os.Exit(2)
+	}
+
+	eng := sim.NewEngine()
+	net, err := simnet.New(eng, simnet.DefaultConfig(min(ranks, 64)))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	w, err := mpi.NewWorld(net, ranks, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var mu sync.Mutex
+	got := mat.New(*n, *n)
+	var gotSt purify.Stats
+	w.Launch(func(pr *mpi.Proc) {
+		k := build(pr)
+		_, q, i, j, holds := k.Layout()
+		var fblk *mat.Matrix
+		if holds {
+			fblk = mat.BlockView(f, q, i, j).Clone()
+		}
+		dblk, st, err := purify.NewDistKernel(k).Run(fblk, purify.Options{Ne: *ne})
+		if err != nil {
+			panic(err)
+		}
+		if holds {
+			mu.Lock()
+			mat.BlockView(got, q, i, j).CopyFrom(dblk)
+			gotSt = st
+			mu.Unlock()
+		}
+	})
+	if err := eng.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("distributed (%s, %d ranks, N_DUP=%d): converged=%v iters=%d idempotency=%.2e\n",
+		*kernel, ranks, *ndup, gotSt.Converged, gotSt.Iters, gotSt.IdemErr)
+	fmt.Printf("  kernel virtual time %.4fs (gemm %.4fs, comm %.4fs)\n",
+		gotSt.KernelTime, gotSt.GemmTime, gotSt.KernelTime-gotSt.GemmTime)
+	fmt.Printf("  max |D_dist - D_serial| = %.3e\n", got.MaxAbsDiff(wantD))
+	fmt.Printf("  tr D = %.6f (target %d)\n", got.Trace(), *ne)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

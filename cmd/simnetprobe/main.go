@@ -1,0 +1,82 @@
+// Command simnetprobe characterizes the simulated fabric: point-to-point
+// latency (ping-pong) and the unidirectional bandwidth curve per PPN
+// (the data behind the paper's Fig. 3), printed as CSV for plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"commoverlap/internal/bench"
+	"commoverlap/internal/mpi"
+	"commoverlap/internal/sim"
+	"commoverlap/internal/simnet"
+)
+
+func main() {
+	csv := flag.Bool("csv", false, "emit CSV instead of a table")
+	flag.Parse()
+
+	// Ping-pong latency: half round-trip of a 1-byte message.
+	var rtt float64
+	eng := sim.NewEngine()
+	net, err := simnet.New(eng, simnet.DefaultConfig(2))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	w, err := mpi.NewWorld(net, 2, []int{0, 1})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	w.Launch(func(pr *mpi.Proc) {
+		c := pr.World()
+		const reps = 10
+		b := mpi.Phantom(1)
+		t0 := pr.Now()
+		for r := 0; r < reps; r++ {
+			if pr.Rank() == 0 {
+				c.Send(1, r, b)
+				c.Recv(1, r, b)
+			} else {
+				c.Recv(0, r, b)
+				c.Send(0, r, b)
+			}
+		}
+		if pr.Rank() == 0 {
+			rtt = (pr.Now() - t0) / reps
+		}
+	})
+	if err := eng.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("ping-pong half round trip: %.2f us\n\n", rtt/2*1e6)
+
+	if *csv {
+		res, err := bench.Fig3(nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print("size_bytes")
+		for _, ppn := range res.PPNs {
+			fmt.Printf(",ppn%d_MBps", ppn)
+		}
+		fmt.Println()
+		for i, size := range res.Sizes {
+			fmt.Printf("%d", size)
+			for j := range res.PPNs {
+				fmt.Printf(",%.0f", res.Bandwidth[i][j])
+			}
+			fmt.Println()
+		}
+		return
+	}
+	if _, err := bench.Fig3(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

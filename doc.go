@@ -1,0 +1,33 @@
+// Package commoverlap is a from-scratch Go reproduction of
+//
+//	Huang & Chow, "Overlapping Communications with Other Communications
+//	and Its Application to Distributed Dense Matrix Computations",
+//	IPDPS 2019.
+//
+// The paper's idea is to overlap communication operations with other
+// communication operations — using MPI-3 nonblocking collectives pipelined
+// over duplicated communicators ("nonblocking overlap") and multiple MPI
+// processes per node ("multiple PPN overlap") — and to apply it to
+// SymmSquareCube, the dense symmetric matrix squaring-and-cubing kernel at
+// the heart of density-matrix purification in electronic structure codes.
+//
+// Since Go has no MPI and this repository targets a single machine, the
+// cluster itself is substituted by a deterministic discrete-event
+// simulation (see DESIGN.md for the substitution argument):
+//
+//	internal/sim     cooperative process-oriented event engine
+//	internal/simnet  the fabric: wires, per-process CPU/NIC lanes, DMA
+//	internal/mpi     an MPI-3-like library: communicators, p2p, collectives
+//	internal/mesh    3D/2.5D process meshes and their communicator families
+//	internal/mat     dense kernels: GEMM, Jacobi eigensolver, partitioning
+//	internal/core    the paper's algorithms (1-6), the contribution
+//	internal/purify  canonical density-matrix purification (the application)
+//	internal/solver  pipelined conjugate gradient (the paper's future work)
+//	internal/sparse  CSR/SpGEMM substrate (the paper's sparse-case remark)
+//	internal/scf     miniature SCF driver with per-kernel PPN parking
+//	internal/bench   regenerates every table and figure of the evaluation
+//
+// The benchmarks in bench_test.go regenerate the paper's Tables I-V and
+// Figures 3, 5 and 6; cmd/overlapbench does the same from the command line.
+// EXPERIMENTS.md records the paper-vs-measured comparison.
+package commoverlap

@@ -1,0 +1,87 @@
+// Purification runs the paper's application: computing the density matrix
+// of a synthetic Hamiltonian by canonical purification, where every
+// iteration's D² and D³ come from the distributed SymmSquareCube kernel.
+// It compares all three kernel variants (original, baseline, optimized) on
+// the same problem — identical numerics, different virtual-time cost.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+
+	"commoverlap/internal/core"
+	"commoverlap/internal/mat"
+	"commoverlap/internal/mesh"
+	"commoverlap/internal/mpi"
+	"commoverlap/internal/purify"
+	"commoverlap/internal/sim"
+	"commoverlap/internal/simnet"
+)
+
+func main() {
+	n := flag.Int("n", 80, "matrix dimension")
+	ne := flag.Int("ne", 16, "electron count")
+	p := flag.Int("p", 2, "mesh edge (p^3 ranks)")
+	ndup := flag.Int("ndup", 4, "N_DUP for the optimized variant")
+	flag.Parse()
+
+	f := mat.BandedHamiltonian(*n, 4)
+	ref, refSt, err := purify.Serial(f, purify.Options{Ne: *ne})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serial purification: %d iterations, idempotency %.1e\n\n", refSt.Iters, refSt.IdemErr)
+	fmt.Printf("%-18s %8s %12s %12s %14s\n", "variant", "iters", "kernel time", "comm time", "max |D-D_ref|")
+
+	for _, v := range []core.Variant{core.Original, core.Baseline, core.Optimized} {
+		nd := 1
+		if v == core.Optimized {
+			nd = *ndup
+		}
+		d, st := run(*p, *n, *ne, nd, v, f)
+		fmt.Printf("%-18s %8d %10.4fs %10.4fs %14.2e\n",
+			v, st.Iters, st.KernelTime, st.KernelTime-st.GemmTime, d.MaxAbsDiff(ref))
+	}
+}
+
+func run(p, n, ne, ndup int, v core.Variant, f *mat.Matrix) (*mat.Matrix, purify.Stats) {
+	dims := mesh.Cubic(p)
+	eng := sim.NewEngine()
+	net, err := simnet.New(eng, simnet.DefaultConfig(dims.Size()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := mpi.NewWorld(net, dims.Size(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var mu sync.Mutex
+	got := mat.New(n, n)
+	var gotSt purify.Stats
+	w.Launch(func(pr *mpi.Proc) {
+		env, err := core.NewEnv(pr, dims, core.Config{N: n, NDup: ndup, Real: true})
+		if err != nil {
+			panic(err)
+		}
+		var fblk *mat.Matrix
+		if env.M.K == 0 {
+			fblk = mat.BlockView(f, p, env.M.I, env.M.J).Clone()
+		}
+		dblk, st, err := purify.NewDist(env, v).Run(fblk, purify.Options{Ne: ne})
+		if err != nil {
+			panic(err)
+		}
+		if env.M.K == 0 {
+			mu.Lock()
+			mat.BlockView(got, p, env.M.I, env.M.J).CopyFrom(dblk)
+			gotSt = st
+			mu.Unlock()
+		}
+	})
+	if err := eng.Run(); err != nil {
+		log.Fatal(err)
+	}
+	return got, gotSt
+}

@@ -1,0 +1,3 @@
+module commoverlap
+
+go 1.22

@@ -1,0 +1,210 @@
+package bench
+
+import (
+	"io"
+
+	"commoverlap/internal/core"
+	"commoverlap/internal/mesh"
+	"commoverlap/internal/mpi"
+	"commoverlap/internal/sim"
+	"commoverlap/internal/simnet"
+)
+
+// Ablations for the design choices DESIGN.md calls out: the collective
+// algorithm switch points, the protocol chunk size, and the fabric core
+// capacity. Each sweeps one knob around its default while everything else
+// stays at the calibrated configuration, reporting optimized-kernel
+// performance at the paper's main size.
+
+// AblationRow is one knob setting's result.
+type AblationRow struct {
+	Knob   string
+	Value  string
+	TFlops float64
+}
+
+// kernelWithCfg runs the optimized kernel under a custom machine config.
+func kernelWithCfg(cfg simnet.Config, n, p, ndup, ppn int) (float64, error) {
+	dims := mesh.Cubic(p)
+	nodes := mesh.NodesNeeded(dims.Size(), ppn)
+	cfg.Nodes = nodes
+	eng := sim.NewEngine()
+	net, err := simnet.New(eng, cfg)
+	if err != nil {
+		return 0, err
+	}
+	w, err := mpi.NewWorld(net, dims.Size(), mesh.NaturalPlacement(dims.Size(), ppn))
+	if err != nil {
+		return 0, err
+	}
+	var worst float64
+	w.Launch(func(pr *mpi.Proc) {
+		env, err := core.NewEnv(pr, dims, core.Config{N: n, NDup: ndup, PPN: ppn})
+		if err != nil {
+			panic(err)
+		}
+		env.M.World.Barrier()
+		res := env.SymmSquareCube(core.Optimized, nil)
+		if res.Time > worst {
+			worst = res.Time
+		}
+	})
+	if err := eng.Run(); err != nil {
+		return 0, err
+	}
+	return core.KernelFlops(n) / worst / 1e12, nil
+}
+
+// Ablate sweeps the three knobs and prints the sensitivity table.
+func Ablate(w io.Writer, n int) ([]AblationRow, error) {
+	if n == 0 {
+		n = Systems[2].N
+	}
+	fprintf(w, "Ablations: optimized kernel (4^3 mesh, N_DUP=4, N=%d) vs design knobs\n", n)
+	fprintf(w, "%-22s %-12s %8s\n", "knob", "value", "TFlops")
+	var rows []AblationRow
+	add := func(knob, value string, tf float64) {
+		rows = append(rows, AblationRow{Knob: knob, Value: value, TFlops: tf})
+		fprintf(w, "%-22s %-12s %8.2f\n", knob, value, tf)
+	}
+
+	// 1. Protocol chunk size: too coarse costs pipelining, too fine costs
+	//    per-chunk overheads.
+	for _, chunk := range []int64{64 << 10, 256 << 10, 1 << 20, 4 << 20} {
+		cfg := simnet.DefaultConfig(1)
+		cfg.ChunkBytes = chunk
+		tf, err := kernelWithCfg(cfg, n, 4, 4, 1)
+		if err != nil {
+			return rows, err
+		}
+		add("chunk bytes", byteLabel(chunk), tf)
+	}
+
+	// 2. Reduce algorithm switch point: forcing binomial trees for the
+	//    kernel's ~7 MB bands shows why Rabenseifner matters.
+	savedR := mpi.ReduceLongMsg
+	for _, lim := range []int64{64 << 10, 1 << 30} {
+		mpi.ReduceLongMsg = lim
+		tf, err := kernelWithCfg(simnet.DefaultConfig(1), n, 4, 4, 1)
+		if err != nil {
+			mpi.ReduceLongMsg = savedR
+			return rows, err
+		}
+		label := "rabenseifner"
+		if lim > 1<<29 {
+			label = "binomial"
+		}
+		add("reduce algorithm", label, tf)
+	}
+	mpi.ReduceLongMsg = savedR
+
+	// 3. Rank placement: the paper's "natural" assignment keeps each mesh
+	//    column (the reduce fibers) mostly on one node; round-robin spreads
+	//    it across nodes.
+	for _, rr := range []bool{false, true} {
+		tf, err := kernelPlacement(simnet.DefaultConfig(1), n, 6, 4, 4, rr)
+		if err != nil {
+			return rows, err
+		}
+		label := "natural"
+		if rr {
+			label = "round-robin"
+		}
+		add("placement (PPN=4)", label, tf)
+	}
+
+	// 4. Reduction arithmetic rate: the kernel is reduce-bound, so the
+	//    single-core combine rate is a first-order term.
+	for _, scale := range []float64{0.5, 1, 2} {
+		cfg := simnet.DefaultConfig(1)
+		cfg.ReduceRate *= scale
+		tf, err := kernelWithCfg(cfg, n, 4, 4, 1)
+		if err != nil {
+			return rows, err
+		}
+		label := map[float64]string{0.5: "0.5x", 1: "1x", 2: "2x"}[scale]
+		add("reduce arith rate", label, tf)
+	}
+
+	// 5. Fabric core capacity: a non-blocking core vs 2:1 and 4:1
+	//    oversubscription (total node bandwidth / core bandwidth).
+	for _, factor := range []float64{0, 2, 4} {
+		cfg := simnet.DefaultConfig(1)
+		label := "non-blocking"
+		if factor > 0 {
+			cfg.CoreBandwidth = 64 * cfg.WireBandwidth / factor
+			if factor == 2 {
+				label = "2:1 oversub"
+			} else {
+				label = "4:1 oversub"
+			}
+		}
+		tf, err := kernelWithCfg(cfg, n, 4, 4, 1)
+		if err != nil {
+			return rows, err
+		}
+		add("fabric core", label, tf)
+	}
+	return rows, nil
+}
+
+// kernelPlacement is kernelWithCfg with a selectable rank placement.
+func kernelPlacement(cfg simnet.Config, n, p, ndup, ppn int, roundRobin bool) (float64, error) {
+	dims := mesh.Cubic(p)
+	nodes := mesh.NodesNeeded(dims.Size(), ppn)
+	cfg.Nodes = nodes
+	placement := mesh.NaturalPlacement(dims.Size(), ppn)
+	if roundRobin {
+		placement = mesh.RoundRobinPlacement(dims.Size(), nodes)
+	}
+	eng := sim.NewEngine()
+	net, err := simnet.New(eng, cfg)
+	if err != nil {
+		return 0, err
+	}
+	w, err := mpi.NewWorld(net, dims.Size(), placement)
+	if err != nil {
+		return 0, err
+	}
+	var worst float64
+	w.Launch(func(pr *mpi.Proc) {
+		env, err := core.NewEnv(pr, dims, core.Config{N: n, NDup: ndup, PPN: ppn})
+		if err != nil {
+			panic(err)
+		}
+		env.M.World.Barrier()
+		res := env.SymmSquareCube(core.Optimized, nil)
+		if res.Time > worst {
+			worst = res.Time
+		}
+	})
+	if err := eng.Run(); err != nil {
+		return 0, err
+	}
+	return core.KernelFlops(n) / worst / 1e12, nil
+}
+
+func byteLabel(b int64) string {
+	switch {
+	case b >= 1<<20:
+		return itoa(int(b>>20)) + "MiB"
+	case b >= 1<<10:
+		return itoa(int(b>>10)) + "KiB"
+	default:
+		return itoa(int(b)) + "B"
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

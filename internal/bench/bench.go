@@ -1,0 +1,154 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (Section V) on the simulated machine: the point-to-point
+// bandwidth sweep (Fig. 3), the collective micro-benchmark (Fig. 5), the
+// operation timeline (Fig. 6), the SymmSquareCube variant and N_DUP tables
+// (Tables I and II), the multiple-PPN sweep (Table III), the estimated vs
+// actual communication analysis (Table IV), and the 2.5D sweep (Table V).
+//
+// Each experiment has a Run function that writes a paper-style text table
+// to an io.Writer and returns the underlying numbers so tests can assert
+// the qualitative claims (who wins, by roughly what factor).
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"commoverlap/internal/core"
+	"commoverlap/internal/mesh"
+	"commoverlap/internal/mpi"
+	"commoverlap/internal/sim"
+	"commoverlap/internal/simnet"
+)
+
+// System names a molecular test system from the paper (Table I): the
+// matrix dimension is all the kernel needs.
+type System struct {
+	Name string
+	N    int
+	Ne   int // electron count used by the purification application
+}
+
+// Systems are the paper's three test systems (dimensions from Table I).
+// The electron counts are synthetic (about one per five basis functions),
+// chosen only to give purification realistic iteration counts.
+var Systems = []System{
+	{Name: "1hsg_45", N: 5330, Ne: 1066},
+	{Name: "1hsg_60", N: 6895, Ne: 1379},
+	{Name: "1hsg_70", N: 7645, Ne: 1529},
+}
+
+// job runs body on a fresh simulated world and returns an error on
+// simulation deadlock.
+func job(nodes, ranks int, placement []int, body func(p *mpi.Proc)) error {
+	eng := sim.NewEngine()
+	net, err := simnet.New(eng, simnet.DefaultConfig(nodes))
+	if err != nil {
+		return err
+	}
+	w, err := mpi.NewWorld(net, ranks, placement)
+	if err != nil {
+		return err
+	}
+	w.Launch(body)
+	return eng.Run()
+}
+
+// jobNet is job with access to the fabric for byte accounting.
+func jobNet(nodes, ranks int, placement []int, body func(p *mpi.Proc)) (*simnet.Net, error) {
+	eng := sim.NewEngine()
+	net, err := simnet.New(eng, simnet.DefaultConfig(nodes))
+	if err != nil {
+		return nil, err
+	}
+	w, err := mpi.NewWorld(net, ranks, placement)
+	if err != nil {
+		return nil, err
+	}
+	w.Launch(body)
+	return net, eng.Run()
+}
+
+// KernelRun measures one SymmSquareCube invocation.
+type KernelRun struct {
+	Time     float64 // max over ranks, seconds of virtual time
+	GemmTime float64 // max over ranks
+	CommTime float64 // Time - GemmTime of the slowest rank
+	TFlops   float64
+	Volume   int64 // total inter-node bytes
+	Nodes    int
+}
+
+// Kernel runs a variant at (n, mesh edge p, ndup, ppn) with phantom
+// payloads and returns the timing.
+func Kernel(v core.Variant, n, p, ndup, ppn int) (KernelRun, error) {
+	dims := mesh.Cubic(p)
+	return kernelDims(func(env *core.Env) core.Result {
+		return env.SymmSquareCube(v, nil)
+	}, dims, n, ndup, ppn)
+}
+
+// Kernel25 runs the 2.5D kernel (Algorithm 6) on a q x q x c mesh.
+func Kernel25(q, c, n, ndup, ppn int) (KernelRun, error) {
+	dims := mesh.Dims{Q: q, C: c}
+	nodes := mesh.NodesNeeded(dims.Size(), ppn)
+	var out KernelRun
+	out.Nodes = nodes
+	net, err := jobNet(nodes, dims.Size(), mesh.NaturalPlacement(dims.Size(), ppn), func(pr *mpi.Proc) {
+		env, err := core.NewEnv25(pr, dims, core.Config{N: n, NDup: ndup, PPN: ppn})
+		if err != nil {
+			panic(err)
+		}
+		env.M.World.Barrier()
+		res := env.SymmSquareCube25(nil)
+		accumulate(&out, res)
+	})
+	if err != nil {
+		return out, err
+	}
+	finish(&out, n, net)
+	return out, nil
+}
+
+func kernelDims(run func(*core.Env) core.Result, dims mesh.Dims, n, ndup, ppn int) (KernelRun, error) {
+	nodes := mesh.NodesNeeded(dims.Size(), ppn)
+	var out KernelRun
+	out.Nodes = nodes
+	net, err := jobNet(nodes, dims.Size(), mesh.NaturalPlacement(dims.Size(), ppn), func(pr *mpi.Proc) {
+		env, err := core.NewEnv(pr, dims, core.Config{N: n, NDup: ndup, PPN: ppn})
+		if err != nil {
+			panic(err)
+		}
+		env.M.World.Barrier()
+		res := run(env)
+		accumulate(&out, res)
+	})
+	if err != nil {
+		return out, err
+	}
+	finish(&out, n, net)
+	return out, nil
+}
+
+func accumulate(out *KernelRun, res core.Result) {
+	if res.Time > out.Time {
+		out.Time = res.Time
+	}
+	if res.GemmTime > out.GemmTime {
+		out.GemmTime = res.GemmTime
+	}
+	if res.Time-res.GemmTime > out.CommTime {
+		out.CommTime = res.Time - res.GemmTime
+	}
+}
+
+func finish(out *KernelRun, n int, net *simnet.Net) {
+	out.TFlops = core.KernelFlops(n) / out.Time / 1e12
+	out.Volume = net.TotalWireBytes()
+}
+
+func fprintf(w io.Writer, format string, args ...any) {
+	if w != nil {
+		fmt.Fprintf(w, format, args...)
+	}
+}

@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// CSV writers: every experiment's result can be dumped in a plot-ready
+// form, so the paper's figures can be regenerated graphically with any
+// tool. All writers emit a header row and plain decimal values.
+
+// WriteCSV emits size_bytes, then one aggregate-bandwidth column per PPN.
+func (r Fig3Result) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprint(w, "size_bytes"); err != nil {
+		return err
+	}
+	for _, ppn := range r.PPNs {
+		fmt.Fprintf(w, ",ppn%d_MBps", ppn)
+	}
+	fmt.Fprintln(w)
+	for i, size := range r.Sizes {
+		fmt.Fprintf(w, "%d", size)
+		for j := range r.PPNs {
+			fmt.Fprintf(w, ",%.1f", r.Bandwidth[i][j])
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// WriteCSV emits size_bytes, then bandwidth columns for each (op, case).
+func (r Fig5Result) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprint(w, "size_bytes"); err != nil {
+		return err
+	}
+	for _, op := range []string{"bcast", "reduce"} {
+		for _, c := range []string{"blocking", "overlap4", "ppn4"} {
+			fmt.Fprintf(w, ",%s_%s_MBps", op, c)
+		}
+	}
+	fmt.Fprintln(w)
+	for i, size := range r.Sizes {
+		fmt.Fprintf(w, "%d", size)
+		for op := 0; op < 2; op++ {
+			for c := Blocking; c <= MultiPPNOverlap; c++ {
+				fmt.Fprintf(w, ",%.1f", r.BW[op][c][i])
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// WriteCSV emits one row per timeline bar.
+func (r Fig6Result) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "op,case,label,post_us,ready_us,done_us"); err != nil {
+		return err
+	}
+	emit := func(op string, es []TimelineEntry) {
+		for _, e := range es {
+			fmt.Fprintf(w, "%s,%q,%q,%.2f,%.2f,%.2f\n",
+				op, e.Case, e.Label, e.Post*1e6, e.Ready*1e6, e.Done*1e6)
+		}
+	}
+	emit("reduce", r.Reduce)
+	emit("bcast", r.Bcast)
+	return nil
+}
+
+// Table1CSV emits the variant-comparison table.
+func Table1CSV(w io.Writer, rows []Table1Row) error {
+	if _, err := fmt.Fprintln(w, "system,n,alg3_tflops,alg4_tflops,alg5_tflops,speedup"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s,%d,%.3f,%.3f,%.3f,%.3f\n",
+			r.System.Name, r.System.N, r.TFlops[0], r.TFlops[1], r.TFlops[2], r.Speedup)
+	}
+	return nil
+}
+
+// Table2CSV emits the N_DUP sweep.
+func Table2CSV(w io.Writer, rows []Table2Row) error {
+	if _, err := fmt.Fprint(w, "system,n"); err != nil {
+		return err
+	}
+	for _, nd := range Table2NDups {
+		fmt.Fprintf(w, ",ndup%d_tflops", nd)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s,%d", r.System.Name, r.System.N)
+		for _, tf := range r.TFlops {
+			fmt.Fprintf(w, ",%.3f", tf)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Table3CSV emits the PPN sweep.
+func Table3CSV(w io.Writer, rows []Table3Row) error {
+	if _, err := fmt.Fprintln(w, "ppn,mesh,total_nodes,ndup1_tflops,ndup4_tflops"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d,%dx%dx%d,%d,%.3f,%.3f\n",
+			r.Config.PPN, r.Config.Mesh, r.Config.Mesh, r.Config.Mesh,
+			r.TotalNodes, r.TFlopsND1, r.TFlopsND4)
+	}
+	return nil
+}
+
+// Table4CSV emits the communication analysis.
+func Table4CSV(w io.Writer, rows []Table4Row) error {
+	if _, err := fmt.Fprintln(w, "ppn,volume_mb_per_node,reduce_gbps,bcast_gbps,est_time_s,actual_time_s"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d,%.2f,%.3f,%.3f,%.4f,%.4f\n",
+			r.Config.PPN, r.VolumeMB, r.ReduceBW, r.BcastBW, r.EstTime, r.ActualTime)
+	}
+	return nil
+}
+
+// Table5CSV emits the 2.5D sweep.
+func Table5CSV(w io.Writer, rows []Table5Row) error {
+	if _, err := fmt.Fprintln(w, "ppn,mesh,total_nodes,ndup1_tflops,ndup4_tflops"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d,%dx%dx%d,%d,%.3f,%.3f\n",
+			r.Config.PPN, r.Config.Q, r.Config.Q, r.Config.C,
+			r.TotalNodes, r.TFlopsND1, r.TFlopsND4)
+	}
+	return nil
+}

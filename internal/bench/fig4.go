@@ -1,0 +1,29 @@
+package bench
+
+import "io"
+
+// Fig4 reproduces the paper's Figure 4 — the diagram that justifies the
+// micro-benchmark's multi-PPN configuration: with PPN=1, one collective
+// spans the four nodes with full-length data; with PPN=4, four column
+// communicators each span the four nodes with quarter-length data, so the
+// inter-node volume is identical and only the overlap changes. The figure
+// is structural, so this renders it rather than measuring anything; the
+// measured counterpart is Fig5.
+func Fig4(w io.Writer) {
+	fprintf(w, `Figure 4: micro-benchmark communication patterns (4 nodes)
+
+  PPN=1: one communicator, blocks of length N      PPN=4: four communicators, blocks of length N/4
+
+  Node1  [ P1  ##################### ]             Node1  [ P1 ##### | P2 ##### | P3 ##### | P4 ##### ]
+  Node2  [ P2  ##################### ]             Node2  [ P5 ##### | P6 ##### | P7 ##### | P8 ##### ]
+  Node3  [ P3  ##################### ]             Node3  [ P9 ##### | P10 #### | P11 #### | P12 #### ]
+  Node4  [ P4  ####################### ]           Node4  [ P13 #### | P14 #### | P15 #### | P16 #### ]
+            |  one collective over                           |         |          |          |
+            |  {P1,P2,P3,P4}                          col comm 1  col comm 2  col comm 3  col comm 4
+            v                                         {P1,P5,P9,P13} ... {P4,P8,P12,P16}, one rank per
+         length-N reduce/bcast                        node each: 4 overlapped length-N/4 collectives
+
+  Same ranks per communication group, same inter-node volume; only the
+  number of simultaneously progressing operations differs.
+`)
+}

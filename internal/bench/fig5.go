@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"commoverlap/internal/mpi"
+)
+
+// CollCase identifies one of the three micro-benchmark configurations of
+// the paper's Fig. 5.
+type CollCase int
+
+const (
+	// Blocking: one rank per node, one blocking collective.
+	Blocking CollCase = iota
+	// NonblockingOverlap: one rank per node, NDup=4 nonblocking collectives
+	// on duplicated communicators, each with 1/4 of the payload.
+	NonblockingOverlap
+	// MultiPPNOverlap: four ranks per node in four communicators (one rank
+	// per node each), blocking collectives of 1/4 of the payload.
+	MultiPPNOverlap
+)
+
+func (c CollCase) String() string {
+	switch c {
+	case Blocking:
+		return "blocking"
+	case NonblockingOverlap:
+		return "nonblocking overlap N_DUP=4"
+	case MultiPPNOverlap:
+		return "4 PPN overlap"
+	default:
+		return fmt.Sprintf("case(%d)", int(c))
+	}
+}
+
+// Fig5Result holds the measured collective bandwidth per (op, case, size).
+type Fig5Result struct {
+	Sizes []int64
+	// BW[op][case][i] in MB/s for Sizes[i]; op 0 = bcast, 1 = reduce.
+	BW [2][3][]float64
+}
+
+// Fig5Sizes is the paper's size axis (16 B to 16 MB).
+var Fig5Sizes = []int64{16, 128, 1 << 10, 8 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20}
+
+// fig5Nodes matches the paper's 4-node micro-benchmark.
+const fig5Nodes = 4
+
+// Fig5 measures broadcast and reduction bandwidth on 4 nodes under the
+// three overlap cases. Bandwidth uses the paper's convention: the volume of
+// a collective over p ranks is 2(p-1)/p * n.
+func Fig5(w io.Writer) (Fig5Result, error) {
+	res := Fig5Result{Sizes: Fig5Sizes}
+	ops := []string{"bcast", "reduce"}
+	fprintf(w, "Figure 5: collective bandwidth (MB/s) on %d nodes\n", fig5Nodes)
+	fprintf(w, "%10s", "size(B)")
+	for _, op := range ops {
+		for c := Blocking; c <= MultiPPNOverlap; c++ {
+			fprintf(w, "  %s/%-28s", op, c)
+		}
+	}
+	fprintf(w, "\n")
+	for _, size := range res.Sizes {
+		fprintf(w, "%10d", size)
+		for opi, op := range ops {
+			for c := Blocking; c <= MultiPPNOverlap; c++ {
+				bw, err := CollectiveBandwidth(op, c, size)
+				if err != nil {
+					return res, err
+				}
+				res.BW[opi][c] = append(res.BW[opi][c], bw/1e6)
+				fprintf(w, "  %-36.0f", bw/1e6)
+			}
+		}
+		fprintf(w, "\n")
+	}
+	return res, nil
+}
+
+// CollectiveBandwidth measures one (op, case, total size) cell of Fig. 5.
+func CollectiveBandwidth(op string, cc CollCase, total int64) (float64, error) {
+	p := fig5Nodes
+	ppn, ndup := 1, 1
+	switch cc {
+	case NonblockingOverlap:
+		ndup = 4
+	case MultiPPNOverlap:
+		ppn = 4
+	}
+	size := p * ppn
+	var elapsed float64
+	err := job(p, size, mesh4Placement(p, ppn), func(pr *mpi.Proc) {
+		// Column communicators: one rank per node each (paper Fig. 4).
+		col := pr.World().Split(pr.Rank()%ppn, pr.Rank()/ppn)
+		comms := col.DupN(ndup)
+		pr.World().Barrier()
+		t0 := pr.Now()
+		share := total / int64(ppn) / int64(ndup)
+		if share == 0 {
+			share = 1
+		}
+		reqs := make([]*mpi.Request, ndup)
+		for d := 0; d < ndup; d++ {
+			b := mpi.Phantom(share)
+			if op == "bcast" {
+				reqs[d] = comms[d].Ibcast(0, b)
+			} else {
+				reqs[d] = comms[d].Ireduce(0, b, b, mpi.OpSum)
+			}
+		}
+		mpi.Waitall(reqs...)
+		if dt := pr.Now() - t0; dt > elapsed {
+			elapsed = dt
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	vol := 2 * float64(p-1) / float64(p) * float64(total)
+	return vol / elapsed, nil
+}
+
+// mesh4Placement puts ranks on nodes so that world rank r lives on node
+// r/ppn (natural placement).
+func mesh4Placement(nodes, ppn int) []int {
+	pl := make([]int, nodes*ppn)
+	for r := range pl {
+		pl[r] = r / ppn
+	}
+	return pl
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"commoverlap/internal/mat"
+	"commoverlap/internal/mpi"
+)
+
+// SquareCuber is the abstraction the purification application consumes: a
+// distributed kernel that turns this rank's block of a symmetric matrix D
+// into its blocks of D² and D³. All three kernel families (the 3D
+// Algorithms 3-5, the 2.5D/Cannon Algorithm 6, and 2D SUMMA) implement it,
+// so applications can switch matrix-multiplication engines without
+// touching their own logic.
+type SquareCuber interface {
+	// SquareCube runs one kernel invocation. d is this rank's input block
+	// (nil off the input plane or in phantom mode).
+	SquareCube(d *mat.Matrix) Result
+	// Layout describes the data distribution: the communicator spanning
+	// the kernel's ranks, the block-grid edge q, this rank's block
+	// coordinates (bi, bj), and whether this rank holds input/output
+	// blocks (2D kernels: every rank; 3D/2.5D: plane k == 0).
+	Layout() (world *mpi.Comm, q, bi, bj int, holdsBlocks bool)
+	// Config exposes the kernel configuration (N, Real, ...).
+	Config() Config
+}
+
+// Kernel3D adapts Env + a variant choice to the SquareCuber interface.
+type Kernel3D struct {
+	Env     *Env
+	Variant Variant
+}
+
+// SquareCube implements SquareCuber.
+func (k Kernel3D) SquareCube(d *mat.Matrix) Result {
+	return k.Env.SymmSquareCube(k.Variant, d)
+}
+
+// Layout implements SquareCuber.
+func (k Kernel3D) Layout() (*mpi.Comm, int, int, int, bool) {
+	m := k.Env.M
+	return m.World, m.Dims.Q, m.I, m.J, m.K == 0
+}
+
+// Config implements SquareCuber.
+func (k Kernel3D) Config() Config { return k.Env.Cfg }
+
+// Kernel25D adapts the 2.5D environment.
+type Kernel25D struct {
+	Env *Env25
+}
+
+// SquareCube implements SquareCuber.
+func (k Kernel25D) SquareCube(d *mat.Matrix) Result {
+	return k.Env.SymmSquareCube25(d)
+}
+
+// Layout implements SquareCuber.
+func (k Kernel25D) Layout() (*mpi.Comm, int, int, int, bool) {
+	m := k.Env.M
+	return m.World, m.Dims.Q, m.I, m.J, m.K == 0
+}
+
+// Config implements SquareCuber.
+func (k Kernel25D) Config() Config { return k.Env.Cfg }
+
+// Kernel2D adapts the SUMMA environment.
+type Kernel2D struct {
+	Env       *Env2D
+	Pipelined bool
+}
+
+// SquareCube implements SquareCuber.
+func (k Kernel2D) SquareCube(d *mat.Matrix) Result {
+	return k.Env.SymmSquareCube2D(d, k.Pipelined)
+}
+
+// Layout implements SquareCuber.
+func (k Kernel2D) Layout() (*mpi.Comm, int, int, int, bool) {
+	m := k.Env.M
+	return m.World, m.Dims.Q, m.I, m.J, true
+}
+
+// Config implements SquareCuber.
+func (k Kernel2D) Config() Config { return k.Env.Cfg }
+
+var (
+	_ SquareCuber = Kernel3D{}
+	_ SquareCuber = Kernel25D{}
+	_ SquareCuber = Kernel2D{}
+)

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"commoverlap/internal/mat"
+	"commoverlap/internal/mesh"
+	"commoverlap/internal/mpi"
+	"commoverlap/internal/sim"
+	"commoverlap/internal/simnet"
+)
+
+// Property: for random mesh edge, dimension, N_DUP and variant, the kernel
+// reproduces the serial oracle exactly (within fp tolerance). This is the
+// randomized complement of the fixed-case tests.
+func TestKernelOracleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := rng.Intn(3) + 1        // 1..3 -> up to 27 ranks
+		n := p*p + rng.Intn(20) + p // ensures blocks nonempty
+		ndup := rng.Intn(4) + 1     // 1..4
+		v := Variant(rng.Intn(3))   // any variant
+		d := mat.RandSymmetric(n, rng)
+		wantD2, wantD3 := oracle(d)
+
+		dims := mesh.Cubic(p)
+		var mu sync.Mutex
+		gotD2, gotD3 := mat.New(n, n), mat.New(n, n)
+		ok := true
+		runKernelJob(t, dims, 2, nil, func(pr *mpi.Proc) {
+			env, err := NewEnv(pr, dims, Config{N: n, NDup: ndup, Real: true})
+			if err != nil {
+				ok = false
+				return
+			}
+			var blk *mat.Matrix
+			if env.M.K == 0 {
+				blk = mat.BlockView(d, p, env.M.I, env.M.J).Clone()
+			}
+			res := env.SymmSquareCube(v, blk)
+			if env.M.K == 0 {
+				mu.Lock()
+				mat.BlockView(gotD2, p, env.M.I, env.M.J).CopyFrom(res.D2)
+				mat.BlockView(gotD3, p, env.M.I, env.M.J).CopyFrom(res.D3)
+				mu.Unlock()
+			}
+		})
+		tol := 1e-9 * float64(n)
+		return ok && gotD2.MaxAbsDiff(wantD2) < tol && gotD3.MaxAbsDiff(wantD3) < tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Determinism: two identical phantom runs produce bit-identical virtual
+// timings — the property that makes every benchmark in this repository
+// reproducible.
+func TestKernelDeterminism(t *testing.T) {
+	measure := func() []float64 {
+		dims := mesh.Cubic(3)
+		eng := sim.NewEngine()
+		net, err := simnet.New(eng, simnet.DefaultConfig(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := mpi.NewWorld(net, dims.Size(), mesh.NaturalPlacement(dims.Size(), 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		times := make([]float64, dims.Size())
+		w.Launch(func(pr *mpi.Proc) {
+			env, err := NewEnv(pr, dims, Config{N: 3000, NDup: 4, PPN: 3})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			env.M.World.Barrier()
+			res := env.SymmSquareCube(Optimized, nil)
+			times[pr.Rank()] = res.Time
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return times
+	}
+	a, b := measure(), measure()
+	for r := range a {
+		if a[r] != b[r] {
+			t.Fatalf("rank %d: run 1 %.17g != run 2 %.17g", r, a[r], b[r])
+		}
+	}
+}
+
+// The Trace hook must fire the same phase labels on every rank, in order.
+func TestKernelTraceHook(t *testing.T) {
+	dims := mesh.Cubic(2)
+	var mu sync.Mutex
+	got := map[int][]string{}
+	runKernelJob(t, dims, 4, nil, func(pr *mpi.Proc) {
+		env, err := NewEnv(pr, dims, Config{N: 500, NDup: 2})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		env.Trace = func(label string, at float64) {
+			mu.Lock()
+			got[pr.Rank()] = append(got[pr.Rank()], label)
+			mu.Unlock()
+		}
+		env.SymmSquareCube(Optimized, nil)
+	})
+	want := []string{"start", "bcastAB-done", "gemm1-done", "bcastB2-done", "gemm2-done", "r3-posted", "ship-done"}
+	for r, labels := range got {
+		seen := map[string]bool{}
+		for _, l := range labels {
+			seen[l] = true
+		}
+		for _, l := range want {
+			if !seen[l] {
+				t.Errorf("rank %d missing trace label %q (got %v)", r, l, labels)
+			}
+		}
+	}
+}
+
+// GemmTime must account for exactly the two multiplications' virtual time.
+func TestGemmTimeAccounting(t *testing.T) {
+	dims := mesh.Cubic(2)
+	const n, ppn = 4000, 1
+	runKernelJob(t, dims, 8, nil, func(pr *mpi.Proc) {
+		env, err := NewEnv(pr, dims, Config{N: n, NDup: 1, PPN: ppn})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		res := env.SymmSquareCube(Baseline, nil)
+		bd := env.blocks()
+		bi, bj, bk := bd.Count(env.M.I), bd.Count(env.M.J), bd.Count(env.M.K)
+		wantFlops := mat.GemmFlops(bi, bj, bk) * 2
+		wantTime := wantFlops / (simnet.DefaultConfig(1).NodeFlops / float64(ppn))
+		if diff := res.GemmTime - wantTime; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("rank %d: gemm time %g want %g", pr.Rank(), res.GemmTime, wantTime)
+		}
+	})
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"commoverlap/internal/mat"
+	"commoverlap/internal/mesh"
+	"commoverlap/internal/mpi"
+)
+
+func check2D(t *testing.T, q, n, ndup int, pipelined bool) {
+	t.Helper()
+	dims := mesh.Dims{Q: q, C: 1}
+	rng := rand.New(rand.NewSource(int64(q*100 + n)))
+	d := mat.RandSymmetric(n, rng)
+	wantD2, wantD3 := oracle(d)
+
+	var mu sync.Mutex
+	gotD2, gotD3 := mat.New(n, n), mat.New(n, n)
+	runKernelJob(t, dims, 4, nil, func(pr *mpi.Proc) {
+		env, err := NewEnv2D(pr, q, Config{N: n, NDup: ndup, Real: true})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		blk := mat.BlockView(d, q, env.M.I, env.M.J).Clone()
+		res := env.SymmSquareCube2D(blk, pipelined)
+		mu.Lock()
+		mat.BlockView(gotD2, q, env.M.I, env.M.J).CopyFrom(res.D2)
+		mat.BlockView(gotD3, q, env.M.I, env.M.J).CopyFrom(res.D3)
+		mu.Unlock()
+	})
+	tol := 1e-10 * float64(n)
+	if diff := gotD2.MaxAbsDiff(wantD2); diff > tol {
+		t.Errorf("2D q=%d n=%d pipelined=%v: D2 diff %g", q, n, pipelined, diff)
+	}
+	if diff := gotD3.MaxAbsDiff(wantD3); diff > tol {
+		t.Errorf("2D q=%d n=%d pipelined=%v: D3 diff %g", q, n, pipelined, diff)
+	}
+}
+
+func TestSumma2DCorrect(t *testing.T) {
+	for _, tc := range []struct {
+		q, n, ndup int
+		pipelined  bool
+	}{
+		{1, 6, 1, false}, {2, 10, 1, false}, {3, 14, 1, false},
+		{2, 10, 1, true}, {3, 17, 2, true}, {4, 22, 3, true}, {4, 24, 4, true},
+	} {
+		check2D(t, tc.q, tc.n, tc.ndup, tc.pipelined)
+	}
+}
+
+func TestSumma2DPipelinedNotSlower(t *testing.T) {
+	dims := mesh.Dims{Q: 4, C: 1}
+	measure := func(pipelined bool) float64 {
+		var worst float64
+		runKernelJob(t, dims, 16, nil, func(pr *mpi.Proc) {
+			env, err := NewEnv2D(pr, 4, Config{N: 6000, NDup: 2})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			env.M.World.Barrier()
+			res := env.SymmSquareCube2D(nil, pipelined)
+			if res.Time > worst {
+				worst = res.Time
+			}
+		})
+		return worst
+	}
+	plain := measure(false)
+	pipe := measure(true)
+	if pipe > plain*1.02 {
+		t.Errorf("pipelined SUMMA (%g) slower than blocking (%g)", pipe, plain)
+	}
+}
+
+// The 3D kernel must beat 2D SUMMA on equal rank counts at a
+// communication-bound size — the reason the paper's kernel is 3D at all.
+func TestSumma2DVs3DCommVolume(t *testing.T) {
+	const n = 6000
+	var t2d, t3d float64
+	runKernelJob(t, mesh.Dims{Q: 8, C: 1}, 64, nil, func(pr *mpi.Proc) {
+		env, err := NewEnv2D(pr, 8, Config{N: n, NDup: 1})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		env.M.World.Barrier()
+		res := env.SymmSquareCube2D(nil, false)
+		if res.Time > t2d {
+			t2d = res.Time
+		}
+	})
+	runKernelJob(t, mesh.Cubic(4), 64, nil, func(pr *mpi.Proc) {
+		env, err := NewEnv(pr, mesh.Cubic(4), Config{N: n, NDup: 1})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		env.M.World.Barrier()
+		res := env.SymmSquareCube(Baseline, nil)
+		if res.Time > t3d {
+			t3d = res.Time
+		}
+	})
+	if t3d >= t2d {
+		t.Errorf("3D kernel (%g) not faster than 2D SUMMA (%g) on 64 ranks", t3d, t2d)
+	}
+}

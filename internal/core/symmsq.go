@@ -1,0 +1,219 @@
+package core
+
+import (
+	"commoverlap/internal/mat"
+	"commoverlap/internal/mpi"
+)
+
+// Application-level point-to-point tags (collectives use their own range).
+const (
+	tagD2 = 1
+	tagD3 = 2
+	tagTr = 3
+)
+
+// distributeAB performs the shared first phase of Algorithms 3 and 4
+// (lines 1-3): broadcast D_{i,j} from plane 0 along the grid fibers as A,
+// broadcast D_{k,j} across rows (root i == k) and transpose it locally into
+// B_{j,k} (using the symmetry of D), then form C = A*B.
+func (e *Env) distributeAB(d *mat.Matrix) (a, b, c *mat.Matrix) {
+	m := e.M
+	bd := e.blocks()
+	bi, bj, bk := bd.Count(m.I), bd.Count(m.J), bd.Count(m.K)
+
+	a = e.newBlock(bi, bj)
+	if m.K == 0 && d != nil {
+		a.CopyFrom(d)
+	}
+	m.Grid.Bcast(0, e.buf(a))
+
+	// Row broadcast of D_{k,j}: the root (k,j,k) holds it as its A block.
+	var braw *mat.Matrix
+	if m.I == m.K {
+		braw = a
+	} else {
+		braw = e.newBlock(bk, bj)
+	}
+	m.Row.Bcast(m.K, e.buf(braw))
+	b = braw.Transpose() // B_{j,k} = D_{k,j}ᵀ
+
+	c = e.newBlock(bi, bk)
+	e.gemm(a, b, c, false)
+	return a, b, c
+}
+
+// gridSendToPlane0 moves a result block D*_{i,k} from its holder (i,k,k)
+// (grid rank k, selected by isHolder == (j==k)) down to (i,k,0) using the
+// grid communicator, with a local copy when holder and destination coincide
+// (plane 0). dst is the plane-0 result block (nil off plane 0).
+func (e *Env) gridSendToPlane0(src, dst *mat.Matrix, isHolder bool, tag int) {
+	m := e.M
+	if isHolder {
+		if m.K == 0 {
+			dst.CopyFrom(src) // (i,0,0): already in place
+			return
+		}
+		m.Grid.Send(0, tag, e.buf(src))
+		return
+	}
+	if m.K == 0 {
+		m.Grid.Recv(m.J, tag, e.buf(dst))
+	}
+}
+
+// symmSquareCubeOriginal is Algorithm 3, the kernel as released in GTFock:
+// both reductions target (i,k,k), which forces an explicit transpose of the
+// D² blocks (line 6) before they can be re-broadcast for the second
+// multiplication.
+func (e *Env) symmSquareCubeOriginal(d *mat.Matrix) (d2res, d3res *mat.Matrix) {
+	m := e.M
+	i, j, k := m.I, m.J, m.K
+	bd := e.blocks()
+	bi, bj, bk := bd.Count(i), bd.Count(j), bd.Count(k)
+
+	a, _, c := e.distributeAB(d)
+
+	// Line 4: reduce C_{i,:,k} to D²_{i,k} on (i,k,k) (col-comm root k).
+	var d2loc *mat.Matrix
+	recv2 := mpi.Buffer{}
+	if j == k {
+		d2loc = e.newBlock(bi, bk)
+		recv2 = e.buf(d2loc)
+	}
+	m.Col.Reduce(k, e.buf(c), recv2, mpi.OpSum)
+
+	// Line 5: ship D² down to plane 0 (the result distribution).
+	if k == 0 {
+		d2res = e.newBlock(bi, bj)
+	}
+	e.gridSendToPlane0(d2loc, d2res, j == k, tagD2)
+
+	// Line 6: transpose D² blocks across the world so (k,j,k) holds
+	// D²_{j,k}: each holder (i,t,t) sends to (t,i,t).
+	var d2t *mat.Matrix
+	if i == k {
+		d2t = e.newBlock(bj, bk)
+	}
+	switch {
+	case j == k && i == k: // (t,t,t): self
+		d2t.CopyFrom(d2loc)
+	case j == k: // holder: send D²_{i,j} to (j,i,j)
+		m.World.Send(m.Dims.Rank(j, i, k), tagTr, e.buf(d2loc))
+	case i == k: // future row root: receive D²_{j,k} from (j,k,k)
+		m.World.Recv(m.Dims.Rank(j, k, k), tagTr, e.buf(d2t))
+	}
+
+	// Line 7: row broadcast D²_{j,k} as B_{j,k} (root i == k, no transpose).
+	var b2 *mat.Matrix
+	if i == k {
+		b2 = d2t
+	} else {
+		b2 = e.newBlock(bj, bk)
+	}
+	m.Row.Bcast(k, e.buf(b2))
+
+	// Line 8: C := A x B.
+	e.gemm(a, b2, c, false)
+
+	// Line 9: reduce to D³_{i,k} on (i,k,k).
+	var d3loc *mat.Matrix
+	recv3 := mpi.Buffer{}
+	if j == k {
+		d3loc = e.newBlock(bi, bk)
+		recv3 = e.buf(d3loc)
+	}
+	m.Col.Reduce(k, e.buf(c), recv3, mpi.OpSum)
+
+	// Line 10: ship D³ down to plane 0.
+	if k == 0 {
+		d3res = e.newBlock(bi, bj)
+	}
+	e.gridSendToPlane0(d3loc, d3res, j == k, tagD3)
+	return d2res, d3res
+}
+
+// symmSquareCubeBaseline is Algorithm 4: the first reduction targets
+// (i,i,k) instead of (i,k,k), which puts each D²_{j,k} block directly on
+// the rank that must re-broadcast it (eliminating Algorithm 3's transpose),
+// and the point-to-point shipments to plane 0 move to the end where they
+// can later be overlapped.
+func (e *Env) symmSquareCubeBaseline(d *mat.Matrix) (d2res, d3res *mat.Matrix) {
+	m := e.M
+	i, j, k := m.I, m.J, m.K
+	bd := e.blocks()
+	bi, bj, bk := bd.Count(i), bd.Count(j), bd.Count(k)
+
+	e.trace("start")
+	a, _, c := e.distributeAB(d)
+	e.trace("gemm1-done")
+
+	// Line 4: reduce C_{i,:,k} to D²_{i,k} on (i,i,k) (col-comm root i).
+	var d2loc *mat.Matrix
+	recv2 := mpi.Buffer{}
+	if j == i {
+		d2loc = e.newBlock(bi, bk)
+		recv2 = e.buf(d2loc)
+	}
+	m.Col.Reduce(i, e.buf(c), recv2, mpi.OpSum)
+	e.trace("reduce2-done")
+
+	// Line 5: (j,j,k) broadcasts D²_{j,k} as B_{j,k} across the row.
+	var b2 *mat.Matrix
+	if i == j {
+		b2 = d2loc
+	} else {
+		b2 = e.newBlock(bj, bk)
+	}
+	m.Row.Bcast(j, e.buf(b2))
+	e.trace("bcastB2-done")
+
+	// Line 6: C := A x B.
+	e.gemm(a, b2, c, false)
+	e.trace("gemm2-done")
+
+	// Line 7: reduce to D³_{i,k} on (i,k,k).
+	var d3loc *mat.Matrix
+	recv3 := mpi.Buffer{}
+	if j == k {
+		d3loc = e.newBlock(bi, bk)
+		recv3 = e.buf(d3loc)
+	}
+	m.Col.Reduce(k, e.buf(c), recv3, mpi.OpSum)
+	e.trace("reduce3-done")
+
+	if k == 0 {
+		d2res = e.newBlock(bi, bj)
+		d3res = e.newBlock(bi, bj)
+	}
+
+	// Line 8: (i,i,k) sends D²_{i,k} to (i,k,0) over the world communicator.
+	var pending []*mpi.Request
+	if i == j {
+		dst := m.Dims.Rank(i, k, 0)
+		if dst != m.World.Rank() {
+			pending = append(pending, m.World.Isend(dst, tagD2, e.buf(d2loc)))
+		}
+	}
+	if k == 0 {
+		src := m.Dims.Rank(i, i, j)
+		if src == m.World.Rank() {
+			d2res.CopyFrom(d2loc)
+		} else {
+			pending = append(pending, m.World.Irecv(src, tagD2, e.buf(d2res)))
+		}
+	}
+
+	// Line 9: (i,k,k) sends D³_{i,k} to (i,k,0) over the grid communicator.
+	if j == k {
+		if k == 0 {
+			d3res.CopyFrom(d3loc)
+		} else {
+			pending = append(pending, m.Grid.Isend(0, tagD3, e.buf(d3loc)))
+		}
+	} else if k == 0 {
+		pending = append(pending, m.Grid.Irecv(j, tagD3, e.buf(d3res)))
+	}
+	mpi.Waitall(pending...)
+	e.trace("ship-done")
+	return d2res, d3res
+}

@@ -1,0 +1,120 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// JacobiEigen computes the full eigendecomposition of a symmetric matrix
+// with the cyclic Jacobi method: A = V diag(w) Vᵀ with eigenvalues w in
+// ascending order and eigenvectors in the columns of V. It is O(n³) per
+// sweep and intended for validation and small examples, not for scale —
+// avoiding exactly the eigensolver bottleneck is the point of the
+// purification algorithm this library reproduces.
+func JacobiEigen(a *Matrix) (w []float64, v *Matrix, err error) {
+	if a.Rows != a.Cols {
+		return nil, nil, fmt.Errorf("mat: eigen of non-square %dx%d", a.Rows, a.Cols)
+	}
+	if a.Phantom() {
+		return nil, nil, fmt.Errorf("mat: eigen of phantom matrix")
+	}
+	if !a.IsSymmetric(1e-10 * a.FrobNorm()) {
+		return nil, nil, fmt.Errorf("mat: eigen of non-symmetric matrix")
+	}
+	n := a.Rows
+	m := a.Clone()
+	v = New(n, n)
+	v.AddIdentity(1)
+
+	const maxSweeps = 64
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m.At(i, j) * m.At(i, j)
+			}
+		}
+		if off < 1e-28*float64(n*n) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := m.At(p, p), m.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				rotate(m, v, p, q, c, s)
+			}
+		}
+	}
+
+	w = make([]float64, n)
+	idx := make([]int, n)
+	for i := range w {
+		w[i] = m.At(i, i)
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool { return w[idx[x]] < w[idx[y]] })
+	sortedW := make([]float64, n)
+	sortedV := New(n, n)
+	for col, src := range idx {
+		sortedW[col] = w[src]
+		for r := 0; r < n; r++ {
+			sortedV.Set(r, col, v.At(r, src))
+		}
+	}
+	return sortedW, sortedV, nil
+}
+
+// rotate applies the Jacobi rotation G(p,q,c,s) as m = GᵀmG, v = vG.
+func rotate(m, v *Matrix, p, q int, c, s float64) {
+	n := m.Rows
+	for k := 0; k < n; k++ {
+		mkp, mkq := m.At(k, p), m.At(k, q)
+		m.Set(k, p, c*mkp-s*mkq)
+		m.Set(k, q, s*mkp+c*mkq)
+	}
+	for k := 0; k < n; k++ {
+		mpk, mqk := m.At(p, k), m.At(q, k)
+		m.Set(p, k, c*mpk-s*mqk)
+		m.Set(q, k, s*mpk+c*mqk)
+	}
+	for k := 0; k < n; k++ {
+		vkp, vkq := v.At(k, p), v.At(k, q)
+		v.Set(k, p, c*vkp-s*vkq)
+		v.Set(k, q, s*vkp+c*vkq)
+	}
+}
+
+// SpectralProjector builds the rank-ne projector onto the eigenvectors with
+// the ne smallest eigenvalues of the symmetric matrix f — the exact density
+// matrix that purification approximates iteratively.
+func SpectralProjector(f *Matrix, ne int) (*Matrix, error) {
+	if ne < 0 || ne > f.Rows {
+		return nil, fmt.Errorf("mat: projector rank %d out of [0,%d]", ne, f.Rows)
+	}
+	_, v, err := JacobiEigen(f)
+	if err != nil {
+		return nil, err
+	}
+	n := f.Rows
+	d := New(n, n)
+	for k := 0; k < ne; k++ {
+		for i := 0; i < n; i++ {
+			vik := v.At(i, k)
+			if vik == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				d.Set(i, j, d.At(i, j)+vik*v.At(j, k))
+			}
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,166 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestJacobiEigenDiagonal(t *testing.T) {
+	m := New(3, 3)
+	m.Set(0, 0, 5)
+	m.Set(1, 1, -2)
+	m.Set(2, 2, 1)
+	w, v, err := JacobiEigen(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[0] != -2 || w[1] != 1 || w[2] != 5 {
+		t.Errorf("eigenvalues %v", w)
+	}
+	// Eigenvector matrix of a diagonal matrix is a permutation (up to sign).
+	for c := 0; c < 3; c++ {
+		nrm := 0.0
+		for r := 0; r < 3; r++ {
+			nrm += v.At(r, c) * v.At(r, c)
+		}
+		if math.Abs(nrm-1) > 1e-12 {
+			t.Errorf("column %d not unit: %g", c, nrm)
+		}
+	}
+}
+
+func TestJacobiEigenReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 5, 20, 40} {
+		a := RandSymmetric(n, rng)
+		w, v, err := JacobiEigen(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A == V diag(w) Vᵀ
+		vd := New(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				vd.Set(i, j, v.At(i, j)*w[j])
+			}
+		}
+		rec := New(n, n)
+		Gemm(1, vd, v.Transpose(), 0, rec)
+		if d := rec.MaxAbsDiff(a); d > 1e-9 {
+			t.Errorf("n=%d: reconstruction error %g", n, d)
+		}
+		// Ascending order.
+		for i := 1; i < n; i++ {
+			if w[i] < w[i-1] {
+				t.Errorf("n=%d: eigenvalues not sorted: %v", n, w)
+			}
+		}
+	}
+}
+
+func TestJacobiEigenOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := RandSymmetric(15, rng)
+	_, v, err := JacobiEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vtv := New(15, 15)
+	Gemm(1, v.Transpose(), v, 0, vtv)
+	id := New(15, 15)
+	id.AddIdentity(1)
+	if d := vtv.MaxAbsDiff(id); d > 1e-10 {
+		t.Errorf("VᵀV deviates from identity by %g", d)
+	}
+}
+
+func TestJacobiEigenErrors(t *testing.T) {
+	if _, _, err := JacobiEigen(New(2, 3)); err == nil {
+		t.Error("non-square accepted")
+	}
+	if _, _, err := JacobiEigen(NewPhantom(3, 3)); err == nil {
+		t.Error("phantom accepted")
+	}
+	ns := New(2, 2)
+	ns.Set(0, 1, 1) // not symmetric
+	if _, _, err := JacobiEigen(ns); err == nil {
+		t.Error("non-symmetric accepted")
+	}
+}
+
+func TestSpectralProjector(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n, ne := 12, 5
+	f := RandSymmetric(n, rng)
+	d, err := SpectralProjector(f, ne)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent, symmetric, correct trace, commutes with F.
+	d2 := New(n, n)
+	Gemm(1, d, d, 0, d2)
+	if diff := d2.MaxAbsDiff(d); diff > 1e-9 {
+		t.Errorf("not idempotent: %g", diff)
+	}
+	if math.Abs(d.Trace()-float64(ne)) > 1e-9 {
+		t.Errorf("trace %g want %d", d.Trace(), ne)
+	}
+	if !d.IsSymmetric(1e-10) {
+		t.Error("projector not symmetric")
+	}
+	fd, df := New(n, n), New(n, n)
+	Gemm(1, f, d, 0, fd)
+	Gemm(1, d, f, 0, df)
+	if diff := fd.MaxAbsDiff(df); diff > 1e-8 {
+		t.Errorf("[F,D] = %g", diff)
+	}
+	if _, err := SpectralProjector(f, n+1); err == nil {
+		t.Error("rank beyond dimension accepted")
+	}
+}
+
+// Property: eigenvalues of A + t*I are eigenvalues of A shifted by t.
+func TestEigenShiftProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(10) + 2
+		shift := rng.NormFloat64()
+		a := RandSymmetric(n, rng)
+		w1, _, err1 := JacobiEigen(a)
+		b := a.Clone()
+		b.AddIdentity(shift)
+		w2, _, err2 := JacobiEigen(b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range w1 {
+			if math.Abs(w1[i]+shift-w2[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Gershgorin bounds contain all eigenvalues.
+func TestGershgorinContainsSpectrumProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(12) + 1
+		a := RandSymmetric(n, rng)
+		lo, hi := a.Gershgorin()
+		w, _, err := JacobiEigen(a)
+		if err != nil {
+			return false
+		}
+		return w[0] >= lo-1e-9 && w[n-1] <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

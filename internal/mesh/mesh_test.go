@@ -1,0 +1,175 @@
+package mesh
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"commoverlap/internal/mpi"
+	"commoverlap/internal/sim"
+	"commoverlap/internal/simnet"
+)
+
+func TestRankCoordsRoundTrip(t *testing.T) {
+	for _, d := range []Dims{Cubic(1), Cubic(2), Cubic(4), {Q: 4, C: 2}, {Q: 3, C: 5}} {
+		for r := 0; r < d.Size(); r++ {
+			i, j, k := d.Coords(r)
+			if d.Rank(i, j, k) != r {
+				t.Fatalf("dims %+v: rank %d -> (%d,%d,%d) -> %d", d, r, i, j, k, d.Rank(i, j, k))
+			}
+		}
+	}
+}
+
+func TestRankLayoutNatural(t *testing.T) {
+	// Plane-by-plane, row-by-row: rank of (i,j,k) in a 3x3x3 mesh.
+	d := Cubic(3)
+	if d.Rank(0, 0, 0) != 0 || d.Rank(0, 1, 0) != 1 || d.Rank(1, 0, 0) != 3 || d.Rank(0, 0, 1) != 9 {
+		t.Errorf("layout not plane-major row-major")
+	}
+}
+
+func TestCoordsPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Cubic(2).Coords(8)
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Dims{Q: 0, C: 1}).Validate(); err == nil {
+		t.Error("Q=0 accepted")
+	}
+	if err := Cubic(3).Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNaturalPlacement(t *testing.T) {
+	pl := NaturalPlacement(10, 4)
+	want := []int{0, 0, 0, 0, 1, 1, 1, 1, 2, 2}
+	for i := range want {
+		if pl[i] != want[i] {
+			t.Fatalf("placement %v", pl)
+		}
+	}
+	if NodesNeeded(10, 4) != 3 || NodesNeeded(8, 4) != 2 || NodesNeeded(1, 8) != 1 {
+		t.Error("NodesNeeded wrong")
+	}
+}
+
+func TestNodesNeededProperty(t *testing.T) {
+	f := func(sz, ppn uint8) bool {
+		size, p := int(sz)+1, int(ppn%16)+1
+		n := NodesNeeded(size, p)
+		return n*p >= size && (n-1)*p < size
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// buildAll runs Build on a full world and returns per-rank comm shapes.
+func buildAll(t *testing.T, d Dims) map[int][6]int {
+	t.Helper()
+	eng := sim.NewEngine()
+	net, err := simnet.New(eng, simnet.DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := mpi.NewWorld(net, d.Size(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	out := make(map[int][6]int)
+	w.Launch(func(p *mpi.Proc) {
+		m, err := Build(p.World(), d)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		mu.Lock()
+		out[p.Rank()] = [6]int{m.Row.Size(), m.Col.Size(), m.Grid.Size(), m.Row.Rank(), m.Col.Rank(), m.Grid.Rank()}
+		mu.Unlock()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestBuildCommShapes(t *testing.T) {
+	for _, d := range []Dims{Cubic(2), Cubic(3), {Q: 4, C: 2}} {
+		got := buildAll(t, d)
+		for r := 0; r < d.Size(); r++ {
+			i, j, k := d.Coords(r)
+			s := got[r]
+			if s[0] != d.Q || s[1] != d.Q || s[2] != d.C {
+				t.Errorf("dims %+v rank %d: comm sizes %v", d, r, s[:3])
+			}
+			if s[3] != i || s[4] != j || s[5] != k {
+				t.Errorf("dims %+v rank %d (%d,%d,%d): comm ranks %v", d, r, i, j, k, s[3:])
+			}
+		}
+	}
+}
+
+func TestBuildRejectsWrongWorldSize(t *testing.T) {
+	eng := sim.NewEngine()
+	net, _ := simnet.New(eng, simnet.DefaultConfig(1))
+	w, _ := mpi.NewWorld(net, 5, nil)
+	errs := make(chan error, 5)
+	w.Launch(func(p *mpi.Proc) {
+		_, err := Build(p.World(), Cubic(2))
+		errs <- err
+	})
+	// Build fails fast before any Split, so no deadlock.
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	close(errs)
+	for err := range errs {
+		if err == nil {
+			t.Fatal("expected world-size error")
+		}
+	}
+}
+
+func TestGridCommunicatorConnectsPlanes(t *testing.T) {
+	// Broadcast along Grid from plane 0 and verify every plane sees it.
+	d := Cubic(2)
+	eng := sim.NewEngine()
+	net, _ := simnet.New(eng, simnet.DefaultConfig(2))
+	w, _ := mpi.NewWorld(net, d.Size(), nil)
+	w.Launch(func(p *mpi.Proc) {
+		m, err := Build(p.World(), d)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf := []float64{0}
+		if m.K == 0 {
+			buf[0] = float64(m.I*10 + m.J)
+		}
+		m.Grid.Bcast(0, mpi.F64(buf))
+		if buf[0] != float64(m.I*10+m.J) {
+			t.Errorf("rank %d got %g", p.Rank(), buf[0])
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundRobinPlacement(t *testing.T) {
+	pl := RoundRobinPlacement(7, 3)
+	want := []int{0, 1, 2, 0, 1, 2, 0}
+	for i := range want {
+		if pl[i] != want[i] {
+			t.Fatalf("placement %v", pl)
+		}
+	}
+}

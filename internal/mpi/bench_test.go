@@ -1,0 +1,65 @@
+package mpi
+
+import (
+	"testing"
+
+	"commoverlap/internal/sim"
+	"commoverlap/internal/simnet"
+)
+
+// benchJob runs body on a fresh world, for simulator-speed benchmarks.
+func benchJob(b *testing.B, size, nodes int, body func(p *Proc)) {
+	b.Helper()
+	eng := sim.NewEngine()
+	net, err := simnet.New(eng, simnet.DefaultConfig(nodes))
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := NewWorld(net, size, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w.Launch(body)
+	if err := eng.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSimulatedAllreduce measures the simulator's wall-time cost of
+// collective simulation: one 1 MB allreduce over 64 ranks per iteration.
+func BenchmarkSimulatedAllreduce(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchJob(b, 64, 16, func(p *Proc) {
+			p.World().Allreduce(Phantom(1<<20), OpSum)
+		})
+	}
+}
+
+// BenchmarkSimulatedP2PStream measures per-message simulation overhead:
+// 100 eager messages between two ranks per iteration.
+func BenchmarkSimulatedP2PStream(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchJob(b, 2, 2, func(p *Proc) {
+			c := p.World()
+			if p.Rank() == 0 {
+				for m := 0; m < 100; m++ {
+					c.Send(1, m, Phantom(4096))
+				}
+			} else {
+				for m := 0; m < 100; m++ {
+					c.Recv(0, m, Phantom(4096))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWorldSpinUp measures job setup cost (world + comm splits) for
+// 512 ranks, the largest configuration the paper's tables use.
+func BenchmarkWorldSpinUp(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchJob(b, 512, 64, func(p *Proc) {
+			p.World().Split(p.Rank()%8, p.Rank())
+		})
+	}
+}

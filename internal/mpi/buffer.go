@@ -1,0 +1,128 @@
+package mpi
+
+import "fmt"
+
+// Buffer describes message payload. A real buffer wraps a []float64 whose
+// contents are actually transported and combined; a phantom buffer carries
+// only a byte count, so paper-scale benchmarks can run without allocating
+// the data. The two kinds can interoperate (a phantom send matches a real
+// receive and delivers no bytes), but the reproduction code never mixes them
+// within one run.
+type Buffer struct {
+	Data    []float64
+	phantom int64 // payload size in bytes when Data == nil
+}
+
+// F64 wraps a real float64 payload.
+func F64(x []float64) Buffer { return Buffer{Data: x} }
+
+// Phantom describes a payload of n bytes with no storage.
+func Phantom(n int64) Buffer {
+	if n < 0 {
+		panic("mpi: negative phantom size")
+	}
+	return Buffer{phantom: n}
+}
+
+// IsPhantom reports whether the buffer has no storage.
+func (b Buffer) IsPhantom() bool { return b.Data == nil }
+
+// Bytes returns the payload size in bytes.
+func (b Buffer) Bytes() int64 {
+	if b.Data != nil {
+		return int64(len(b.Data)) * 8
+	}
+	return b.phantom
+}
+
+// Len returns the element count of a real buffer; phantom buffers report
+// their byte count divided by 8 (rounding up), which collective piece
+// splitting uses to keep real and phantom runs congruent.
+func (b Buffer) Len() int {
+	if b.Data != nil {
+		return len(b.Data)
+	}
+	return int((b.phantom + 7) / 8)
+}
+
+// Slice returns the sub-buffer of elements [lo, hi). For phantom buffers the
+// slice is a phantom of the proportional byte count.
+func (b Buffer) Slice(lo, hi int) Buffer {
+	if lo < 0 || hi < lo || hi > b.Len() {
+		panic(fmt.Sprintf("mpi: slice [%d:%d) of buffer with %d elements", lo, hi, b.Len()))
+	}
+	if b.Data != nil {
+		return Buffer{Data: b.Data[lo:hi:hi]}
+	}
+	n := int64(hi-lo) * 8
+	if hi == b.Len() && b.phantom%8 != 0 {
+		n = b.phantom - int64(lo)*8 // preserve exact byte count on the tail
+	}
+	return Buffer{phantom: n}
+}
+
+// clone returns a copy of the payload for buffering eager sends. Phantoms
+// clone to themselves.
+func (b Buffer) clone() Buffer {
+	if b.Data == nil {
+		return b
+	}
+	c := make([]float64, len(b.Data))
+	copy(c, b.Data)
+	return Buffer{Data: c}
+}
+
+// copyFrom copies src's payload into b (no-op if either side is phantom).
+func (b Buffer) copyFrom(src Buffer) {
+	if b.Data == nil || src.Data == nil {
+		return
+	}
+	if len(b.Data) < len(src.Data) {
+		panic(fmt.Sprintf("mpi: receive buffer too small: %d < %d", len(b.Data), len(src.Data)))
+	}
+	copy(b.Data, src.Data)
+}
+
+// Op identifies a reduction operator.
+type Op int
+
+const (
+	// OpSum adds elementwise; the only operator the kernels use.
+	OpSum Op = iota
+	// OpMax takes the elementwise maximum.
+	OpMax
+)
+
+// combineInto accumulates src into dst under op. Phantom operands skip the
+// arithmetic (the time cost is charged separately by the collective).
+func combineInto(dst, src Buffer, op Op) {
+	if dst.Data == nil || src.Data == nil {
+		return
+	}
+	if len(dst.Data) != len(src.Data) {
+		panic(fmt.Sprintf("mpi: combine length mismatch %d != %d", len(dst.Data), len(src.Data)))
+	}
+	switch op {
+	case OpSum:
+		for i, v := range src.Data {
+			dst.Data[i] += v
+		}
+	case OpMax:
+		for i, v := range src.Data {
+			if v > dst.Data[i] {
+				dst.Data[i] = v
+			}
+		}
+	default:
+		panic(fmt.Sprintf("mpi: unknown op %d", op))
+	}
+}
+
+// scratchLike allocates a receive scratch buffer shaped like b: real buffers
+// get real scratch, phantoms get phantom scratch.
+func scratchLike(b Buffer, elems int) Buffer {
+	if b.Data == nil {
+		return Phantom(int64(elems) * 8)
+	}
+	return F64(make([]float64, elems))
+}

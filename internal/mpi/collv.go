@@ -1,0 +1,153 @@
+package mpi
+
+import "commoverlap/internal/sim"
+
+// The v-variant collectives move per-rank variable-size blocks — what MPI
+// spells Gatherv/Scatterv/Allgatherv. Block sizes must be agreed (every
+// rank passes the same counts slice, in elements), as in MPI where the
+// counts arrays are arguments. The schedules reuse the fixed-size tree
+// algorithms' structure with per-rank extents.
+
+// GathervRun collects rank i's sendBuf (counts[i] elements) on the root.
+// The binomial tree forwards concatenated subtree payloads, so the cost
+// shape matches Gather for balanced counts.
+func (c *Comm) gathervRun(sp *sim.Proc, root int, sendBuf Buffer, counts []int, recvBufs []Buffer, tag int) {
+	p := c.Size()
+	vr := (c.rank - root + p) % p
+
+	type piece struct {
+		vr  int
+		buf Buffer
+	}
+	pieces := []piece{{vr, sendBuf}}
+	subtreeElems := func(lo, cnt int) int {
+		s := 0
+		for b := lo; b < lo+cnt; b++ {
+			s += counts[c.abs(b, root)]
+		}
+		return s
+	}
+	mask := 1
+	for ; mask < p; mask <<= 1 {
+		if vr&mask != 0 {
+			break
+		}
+		srcVr := vr | mask
+		if srcVr >= p {
+			continue
+		}
+		cnt := min(mask, p-srcVr)
+		tmp := scratchLike(sendBuf, subtreeElems(srcVr, cnt))
+		c.recvOn(sp, c.abs(srcVr, root), tag, tmp)
+		off := 0
+		for b := srcVr; b < srcVr+cnt; b++ {
+			e := counts[c.abs(b, root)]
+			pieces = append(pieces, piece{b, tmp.Slice(off, off+e)})
+			off += e
+		}
+	}
+	if vr != 0 {
+		bufs := make([]Buffer, len(pieces))
+		total := 0
+		for i, pc := range pieces {
+			bufs[i] = pc.buf
+			total += pc.buf.Len()
+		}
+		c.sendOn(sp, c.abs(vr-mask, root), tag, concatBuffers(bufs, total))
+		return
+	}
+	if recvBufs != nil {
+		for _, pc := range pieces {
+			r := c.abs(pc.vr, root)
+			if r < len(recvBufs) {
+				recvBufs[r].copyFrom(pc.buf)
+			}
+		}
+	}
+}
+
+// Gatherv collects variable-size blocks on root: rank i contributes
+// counts[i] elements; recvBufs[i] (root only) receives them.
+func (c *Comm) Gatherv(root int, sendBuf Buffer, counts []int, recvBufs []Buffer) {
+	tag := c.nextCollTag()
+	c.chargeStaging(c.p.sp, sendBuf.Bytes(), 1)
+	c.gathervRun(c.p.sp, root, sendBuf, counts, recvBufs, tag)
+}
+
+// Allgatherv gives every rank every variable-size block, with the ring
+// algorithm (p-1 rounds of neighbor forwarding).
+func (c *Comm) Allgatherv(sendBuf Buffer, counts []int, recvBufs []Buffer) {
+	tag := c.nextCollTag()
+	c.chargeStaging(c.p.sp, sendBuf.Bytes(), 1)
+	sp := c.p.sp
+	p := c.Size()
+	recvBufs[c.rank].copyFrom(sendBuf)
+	right := (c.rank + 1) % p
+	left := (c.rank - 1 + p) % p
+	for k := 0; k < p-1; k++ {
+		sendIdx := (c.rank - k + p) % p
+		recvIdx := (c.rank - k - 1 + p) % p
+		sreq := c.isendOn(sp, right, tag+k, recvBufs[sendIdx])
+		c.recvOn(sp, left, tag+k, recvBufs[recvIdx])
+		sreq.waitOn(sp)
+	}
+}
+
+// Scatterv distributes root's variable-size blocks: rank i receives
+// counts[i] elements into recvBuf. Implemented as direct sends from the
+// root (the classic MPI implementation for irregular extents); latency is
+// O(p) but the root's egress volume is optimal.
+func (c *Comm) Scatterv(root int, sendBufs []Buffer, counts []int, recvBuf Buffer) {
+	tag := c.nextCollTag()
+	sp := c.p.sp
+	if c.rank == root {
+		var total int64
+		for _, b := range sendBufs {
+			total += b.Bytes()
+		}
+		c.chargeStaging(sp, total, c.p.w.BcastStageFactor)
+		var reqs []*Request
+		for r := 0; r < c.Size(); r++ {
+			if r == root {
+				recvBuf.copyFrom(sendBufs[r])
+				continue
+			}
+			reqs = append(reqs, c.isendOn(sp, r, tag, sendBufs[r]))
+		}
+		for _, r := range reqs {
+			r.waitOn(sp)
+		}
+		return
+	}
+	c.chargeStaging(sp, 0, 1)
+	c.recvOn(sp, root, tag, recvBuf)
+}
+
+// Igatherv posts a nonblocking Gatherv.
+func (c *Comm) Igatherv(root int, sendBuf Buffer, counts []int, recvBufs []Buffer) *Request {
+	tag := c.nextCollTag()
+	c.chargeStaging(c.p.sp, sendBuf.Bytes(), 1)
+	return c.spawnColl("igatherv", func(sp *sim.Proc) {
+		c.gathervRun(sp, root, sendBuf, counts, recvBufs, tag)
+	})
+}
+
+// Iallgatherv posts a nonblocking Allgatherv (ring schedule).
+func (c *Comm) Iallgatherv(sendBuf Buffer, counts []int, recvBufs []Buffer) *Request {
+	tag := c.nextCollTag()
+	c.chargeStaging(c.p.sp, sendBuf.Bytes(), 1)
+	rank := c.rank
+	return c.spawnColl("iallgatherv", func(sp *sim.Proc) {
+		p := c.Size()
+		recvBufs[rank].copyFrom(sendBuf)
+		right := (rank + 1) % p
+		left := (rank - 1 + p) % p
+		for k := 0; k < p-1; k++ {
+			sendIdx := (rank - k + p) % p
+			recvIdx := (rank - k - 1 + p) % p
+			sreq := c.isendOn(sp, right, tag+k, recvBufs[sendIdx])
+			c.recvOn(sp, left, tag+k, recvBufs[recvIdx])
+			sreq.waitOn(sp)
+		}
+	})
+}

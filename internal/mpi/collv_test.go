@@ -1,0 +1,149 @@
+package mpi
+
+import "testing"
+
+// vCounts gives rank r a distinctive block length.
+func vCounts(p int) []int {
+	out := make([]int, p)
+	for i := range out {
+		out[i] = 3 + 2*i
+	}
+	return out
+}
+
+func vBlock(r, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(r*100 + i)
+	}
+	return out
+}
+
+func TestGathervAgainstOracle(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8} {
+		for root := 0; root < p; root += max(1, p-1) {
+			p, root := p, root
+			counts := vCounts(p)
+			runJob(t, p, min(p, 4), func(pr *Proc) {
+				send := F64(vBlock(pr.Rank(), counts[pr.Rank()]))
+				var recv []Buffer
+				if pr.Rank() == root {
+					recv = make([]Buffer, p)
+					for i := range recv {
+						recv[i] = F64(make([]float64, counts[i]))
+					}
+				}
+				pr.World().Gatherv(root, send, counts, recv)
+				if pr.Rank() == root {
+					for i := 0; i < p; i++ {
+						want := vBlock(i, counts[i])
+						for j, v := range recv[i].Data {
+							if v != want[j] {
+								t.Errorf("p=%d root=%d block %d elem %d = %g want %g",
+									p, root, i, j, v, want[j])
+								return
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestScattervAgainstOracle(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 6} {
+		p := p
+		counts := vCounts(p)
+		runJob(t, p, min(p, 4), func(pr *Proc) {
+			var send []Buffer
+			if pr.Rank() == 1%p {
+				send = make([]Buffer, p)
+				for i := range send {
+					send[i] = F64(vBlock(i, counts[i]))
+				}
+			}
+			recv := F64(make([]float64, counts[pr.Rank()]))
+			pr.World().Scatterv(1%p, send, counts, recv)
+			want := vBlock(pr.Rank(), counts[pr.Rank()])
+			for j, v := range recv.Data {
+				if v != want[j] {
+					t.Fatalf("p=%d rank=%d elem %d = %g want %g", p, pr.Rank(), j, v, want[j])
+				}
+			}
+		})
+	}
+}
+
+func TestAllgathervAgainstOracle(t *testing.T) {
+	const p = 5
+	counts := vCounts(p)
+	runJob(t, p, 4, func(pr *Proc) {
+		send := F64(vBlock(pr.Rank(), counts[pr.Rank()]))
+		recv := make([]Buffer, p)
+		for i := range recv {
+			recv[i] = F64(make([]float64, counts[i]))
+		}
+		pr.World().Allgatherv(send, counts, recv)
+		for i := 0; i < p; i++ {
+			want := vBlock(i, counts[i])
+			for j, v := range recv[i].Data {
+				if v != want[j] {
+					t.Fatalf("rank=%d block %d elem %d = %g want %g", pr.Rank(), i, j, v, want[j])
+				}
+			}
+		}
+	})
+}
+
+func TestGathervPhantom(t *testing.T) {
+	const p = 4
+	counts := []int{1000, 2000, 3000, 4000}
+	runJob(t, p, 4, func(pr *Proc) {
+		t0 := pr.Now()
+		pr.World().Gatherv(0, Phantom(int64(counts[pr.Rank()])*8), counts, nil)
+		if pr.Now() <= t0 {
+			t.Error("phantom gatherv took no time")
+		}
+	})
+}
+
+func TestNonblockingVCollectives(t *testing.T) {
+	const p = 4
+	counts := vCounts(p)
+	runJob(t, p, 4, func(pr *Proc) {
+		w := pr.World()
+		c1, c2 := w.Dup(), w.Dup()
+		// Outstanding Igatherv and Iallgatherv together.
+		send := F64(vBlock(pr.Rank(), counts[pr.Rank()]))
+		var grecv []Buffer
+		if pr.Rank() == 0 {
+			grecv = make([]Buffer, p)
+			for i := range grecv {
+				grecv[i] = F64(make([]float64, counts[i]))
+			}
+		}
+		arecv := make([]Buffer, p)
+		for i := range arecv {
+			arecv[i] = F64(make([]float64, counts[i]))
+		}
+		r1 := c1.Igatherv(0, send, counts, grecv)
+		r2 := c2.Iallgatherv(send, counts, arecv)
+		Waitall(r1, r2)
+		for i := 0; i < p; i++ {
+			want := vBlock(i, counts[i])
+			for j, v := range arecv[i].Data {
+				if v != want[j] {
+					t.Fatalf("iallgatherv block %d elem %d = %g", i, j, v)
+				}
+			}
+			if pr.Rank() == 0 {
+				for j, v := range grecv[i].Data {
+					if v != want[j] {
+						t.Fatalf("igatherv block %d elem %d = %g", i, j, v)
+					}
+				}
+			}
+		}
+	})
+}

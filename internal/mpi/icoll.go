@@ -1,0 +1,81 @@
+package mpi
+
+import "commoverlap/internal/sim"
+
+// Nonblocking collectives (MPI-3 style). Posting charges the staging cost
+// inline on the caller — so posting several nonblocking collectives back to
+// back serializes their staging on the rank's CPU, visibly so in the
+// paper's Fig. 6 — and then the rounds of the schedule progress in a child
+// simulation process. The child's sends, receives and reduction arithmetic
+// contend for the same per-rank CPU resource as everything else the rank
+// does, which bounds how much overlap can win.
+
+// spawnColl runs schedule in a child process and returns a request that
+// completes when the rank's participation in the collective finishes.
+func (c *Comm) spawnColl(name string, schedule func(sp *sim.Proc)) *Request {
+	req := &Request{done: c.p.w.Eng.NewGate(), sp: c.p.sp}
+	c.p.w.Eng.Spawn(name, func(sp *sim.Proc) {
+		schedule(sp)
+		req.done.Fire()
+	})
+	return req
+}
+
+// Ibcast posts a nonblocking broadcast of buf from root.
+func (c *Comm) Ibcast(root int, buf Buffer) *Request {
+	tag := c.nextCollTag()
+	if c.rank == root {
+		c.chargeStaging(c.p.sp, buf.Bytes(), c.p.w.BcastStageFactor)
+	} else {
+		c.chargeStaging(c.p.sp, 0, 1)
+	}
+	return c.spawnColl("ibcast", func(sp *sim.Proc) {
+		c.bcastRun(sp, root, buf, tag)
+	})
+}
+
+// Ireduce posts a nonblocking reduction of sendBuf into recvBuf on root.
+func (c *Comm) Ireduce(root int, sendBuf, recvBuf Buffer, op Op) *Request {
+	tag := c.nextCollTag()
+	c.chargeStaging(c.p.sp, sendBuf.Bytes(), 1)
+	return c.spawnColl("ireduce", func(sp *sim.Proc) {
+		c.reduceRun(sp, root, sendBuf, recvBuf, op, tag)
+	})
+}
+
+// Iallreduce posts a nonblocking in-place allreduce of buf.
+func (c *Comm) Iallreduce(buf Buffer, op Op) *Request {
+	tag := c.nextCollTag()
+	c.chargeStaging(c.p.sp, buf.Bytes(), 1)
+	return c.spawnColl("iallreduce", func(sp *sim.Proc) {
+		c.allreduceRun(sp, buf, op, tag)
+	})
+}
+
+// Ibarrier posts a nonblocking barrier.
+func (c *Comm) Ibarrier() *Request {
+	tag := c.nextCollTag()
+	return c.spawnColl("ibarrier", func(sp *sim.Proc) {
+		c.barrierRun(sp, tag)
+	})
+}
+
+// testOverhead is the CPU cost of one MPI_Test poll.
+const testOverhead = 0.1e-6
+
+// PollWait repeatedly tests req every interval seconds of virtual time,
+// sleeping in between — the paper's park mechanism for ranks that are
+// inactive in a kernel (MPI_Ibarrier + MPI_Test + usleep every 10 ms).
+// It returns once the request completes.
+func (p *Proc) PollWait(req *Request, interval float64) {
+	for !req.Test() {
+		p.w.Net.ChargeCPU(p.sp, p.st.ep, testOverhead)
+		if req.Test() {
+			return
+		}
+		p.sp.Sleep(interval)
+	}
+}
+
+// DefaultPollInterval matches the paper's 10 ms wake-up check.
+const DefaultPollInterval = 10e-3

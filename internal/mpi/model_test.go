@@ -1,0 +1,117 @@
+package mpi
+
+import (
+	"testing"
+
+	"commoverlap/internal/sim"
+	"commoverlap/internal/simnet"
+)
+
+// Model validation: the paper's cost formulas (Section V-A) for long
+// messages — T_bcast ~ 2 beta (p-1) n / p and likewise for reduce plus its
+// arithmetic term — must describe the simulated collectives to within a
+// small factor at bandwidth-dominated sizes. This pins the simulator to
+// the analytic model the paper reasons with.
+func TestCollectiveCostModel(t *testing.T) {
+	cfg := simnet.DefaultConfig(4)
+	const p = 4
+	const n = 16 << 20
+	beta := 1 / cfg.WireBandwidth
+
+	var bcastT, reduceT float64
+	runJob(t, p, p, func(pr *Proc) {
+		c := pr.World()
+		c.Barrier()
+		t0 := pr.Now()
+		c.Bcast(0, Phantom(n))
+		c.Barrier()
+		if pr.Rank() == 0 {
+			bcastT = pr.Now() - t0
+		}
+		t1 := pr.Now()
+		c.Reduce(0, Phantom(n), Phantom(n), OpSum)
+		c.Barrier()
+		if pr.Rank() == 0 {
+			reduceT = pr.Now() - t1
+		}
+	})
+
+	wire := 2 * beta * float64(p-1) * float64(n) / float64(p)
+	if bcastT < wire {
+		t.Errorf("bcast %.4fms beat the wire bound %.4fms", bcastT*1e3, wire*1e3)
+	}
+	if bcastT > 4*wire {
+		t.Errorf("bcast %.4fms more than 4x the model %.4fms", bcastT*1e3, wire*1e3)
+	}
+	// Reduce adds combine arithmetic: ~ (p-1)/p * n / ReduceRate on the
+	// critical path plus the same wire term.
+	model := wire + float64(n)/cfg.ReduceRate
+	if reduceT < wire {
+		t.Errorf("reduce %.4fms beat the wire bound", reduceT*1e3)
+	}
+	if reduceT > 3*model {
+		t.Errorf("reduce %.4fms more than 3x the model %.4fms", reduceT*1e3, model*1e3)
+	}
+	// And reduce must cost more than bcast (the paper's central asymmetry).
+	if reduceT <= bcastT {
+		t.Errorf("reduce (%.4fms) not slower than bcast (%.4fms)", reduceT*1e3, bcastT*1e3)
+	}
+}
+
+// The paper's root hypothesis, asserted directly: overlapping collectives
+// raises wire utilization. Measure the mean egress busy fraction during a
+// reduce+bcast pair, blocking vs pipelined on duplicated communicators.
+func TestOverlapRaisesWireUtilization(t *testing.T) {
+	measure := func(overlap bool) float64 {
+		eng := sim.NewEngine()
+		net, err := simnet.New(eng, simnet.DefaultConfig(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := NewWorld(net, 4, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var elapsed float64
+		w.Launch(func(p *Proc) {
+			c := p.World()
+			c.Barrier()
+			t0 := p.Now()
+			const n = 8 << 20
+			if !overlap {
+				c.Reduce(0, Phantom(n), Phantom(n), OpSum)
+				c.Bcast(0, Phantom(n))
+			} else {
+				const nd = 4
+				comms := c.DupN(nd)
+				reduces := make([]*Request, nd)
+				for d := 0; d < nd; d++ {
+					reduces[d] = comms[d].Ireduce(0, Phantom(n/nd), Phantom(n/nd), OpSum)
+				}
+				bcasts := make([]*Request, nd)
+				for d := 0; d < nd; d++ {
+					if p.Rank() == 0 {
+						reduces[d].Wait()
+					}
+					bcasts[d] = comms[d].Ibcast(0, Phantom(n/nd))
+				}
+				Waitall(bcasts...)
+				Waitall(reduces...)
+			}
+			c.Barrier()
+			if dt := p.Now() - t0; dt > elapsed {
+				elapsed = dt
+			}
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		mean, _ := net.Utilization(elapsed)
+		return mean
+	}
+	blocking := measure(false)
+	overlapped := measure(true)
+	if overlapped <= blocking {
+		t.Errorf("overlap did not raise wire utilization: %.3f vs %.3f", overlapped, blocking)
+	}
+}

@@ -1,0 +1,219 @@
+package mpi
+
+import (
+	"fmt"
+
+	"commoverlap/internal/sim"
+)
+
+// Status describes a completed receive.
+type Status struct {
+	Source int   // comm rank of the sender
+	Tag    int   // actual message tag
+	Bytes  int64 // payload size
+}
+
+// Request tracks a nonblocking operation. Wait and Test follow MPI
+// semantics: a send request completes when the send buffer is reusable, a
+// receive request when the payload has arrived, a collective request when
+// the rank's participation is finished.
+type Request struct {
+	done *sim.Gate
+	sp   *sim.Proc
+	// Status is valid after completion of a receive request.
+	Status Status
+}
+
+// Wait blocks the posting rank until the operation completes. It must be
+// called from the goroutine that posted the operation.
+func (r *Request) Wait() { r.sp.Wait(r.done) }
+
+// Test reports whether the operation has completed, without blocking.
+// Progress in the simulation is autonomous (as with an MPI progress thread),
+// so Test is a pure query.
+func (r *Request) Test() bool { return r.done.Fired() }
+
+// waitOn blocks an explicit simulation process (used by collective child
+// processes, which are distinct from the posting rank's main process).
+func (r *Request) waitOn(sp *sim.Proc) { sp.Wait(r.done) }
+
+// Waitall waits for every request in order.
+func Waitall(reqs ...*Request) {
+	for _, r := range reqs {
+		r.Wait()
+	}
+}
+
+// inflight is the receiver-side record of a message: either an eager
+// payload that has arrived, or a rendezvous announcement (RTS) whose bulk
+// data moves only after a matching receive is posted.
+type inflight struct {
+	ctx, src, tag int // src is the sender's comm rank
+	bytes         int64
+	payload       Buffer // eager: valid at delivery
+	rndv          *rndvInfo
+}
+
+type rndvInfo struct {
+	srcWorld int // world rank of the sender, for endpoint lookup
+	srcBuf   Buffer
+	sendReq  *Request
+}
+
+type postedRecv struct {
+	ctx, src, tag int // src/tag may be AnySource/AnyTag
+	buf           Buffer
+	req           *Request
+}
+
+func (m *inflight) matches(r *postedRecv) bool {
+	return m.ctx == r.ctx &&
+		(r.src == AnySource || r.src == m.src) &&
+		(r.tag == AnyTag || r.tag == m.tag)
+}
+
+// isendOn posts a send on behalf of sp. Eager messages (<= EagerLimit) are
+// buffered and complete at injection; larger messages use a rendezvous
+// handshake (RTS/CTS control messages) and complete once the bulk transfer
+// has left the sender.
+func (c *Comm) isendOn(sp *sim.Proc, dest, tag int, buf Buffer) *Request {
+	if dest < 0 || dest >= len(c.group) {
+		panic(fmt.Sprintf("mpi: send to rank %d of %d", dest, len(c.group)))
+	}
+	w := c.p.w
+	st := c.p.st
+	dst := w.ranks[c.group[dest]]
+	req := &Request{done: w.Eng.NewGate(), sp: sp}
+	size := buf.Bytes()
+	m := &inflight{ctx: c.ctx, src: c.rank, tag: tag, bytes: size}
+
+	if size <= w.Net.Cfg.EagerLimit {
+		pay := buf.clone()
+		inj, del := w.Net.Transfer(st.ep, dst.ep, size)
+		inj.OnFire(func() { req.done.Fire() })
+		del.OnFire(func() {
+			m.payload = pay
+			dst.deliver(m)
+		})
+		return req
+	}
+
+	m.rndv = &rndvInfo{srcWorld: st.rank, srcBuf: buf, sendReq: req}
+	_, rtsDel := w.Net.Transfer(st.ep, dst.ep, 0)
+	rtsDel.OnFire(func() { dst.deliver(m) })
+	return req
+}
+
+// irecvOn posts a receive on behalf of sp. The posted buffer may be larger
+// than the incoming message (the extra elements are untouched); a smaller
+// buffer is a truncation error and panics.
+func (c *Comm) irecvOn(sp *sim.Proc, src, tag int, buf Buffer) *Request {
+	if src != AnySource && (src < 0 || src >= len(c.group)) {
+		panic(fmt.Sprintf("mpi: recv from rank %d of %d", src, len(c.group)))
+	}
+	st := c.p.st
+	req := &Request{done: c.p.w.Eng.NewGate(), sp: sp}
+	r := &postedRecv{ctx: c.ctx, src: src, tag: tag, buf: buf, req: req}
+	for i, m := range st.unexpected {
+		if m.matches(r) {
+			st.unexpected = append(st.unexpected[:i], st.unexpected[i+1:]...)
+			st.complete(m, r)
+			return req
+		}
+	}
+	st.posted = append(st.posted, r)
+	return req
+}
+
+// deliver is called (from a transfer completion) when a message or
+// rendezvous announcement becomes visible at this rank.
+func (st *rankState) deliver(m *inflight) {
+	for i, r := range st.posted {
+		if m.matches(r) {
+			st.posted = append(st.posted[:i], st.posted[i+1:]...)
+			st.complete(m, r)
+			return
+		}
+	}
+	st.unexpected = append(st.unexpected, m)
+}
+
+// complete finishes the match: eager messages copy out and complete
+// immediately; rendezvous matches send a CTS back to the sender and start
+// the bulk transfer when it arrives.
+func (st *rankState) complete(m *inflight, r *postedRecv) {
+	if !m.payloadFits(r.buf) {
+		panic(fmt.Sprintf("mpi: message of %d bytes truncated into %d-byte buffer (src %d tag %d)",
+			m.bytes, r.buf.Bytes(), m.src, m.tag))
+	}
+	r.req.Status = Status{Source: m.src, Tag: m.tag, Bytes: m.bytes}
+	w := st.w
+	if m.rndv == nil {
+		r.buf.copyFrom(m.payload)
+		r.req.done.Fire()
+		return
+	}
+	srcSt := w.ranks[m.rndv.srcWorld]
+	_, ctsDel := w.Net.Transfer(st.ep, srcSt.ep, 0)
+	ctsDel.OnFire(func() {
+		// The sender's buffer is captured at transfer start; under MPI
+		// semantics the application must not modify it before the send
+		// request completes, which is later than this instant.
+		pay := m.rndv.srcBuf.clone()
+		inj, del := w.Net.TransferBulk(srcSt.ep, st.ep, m.bytes)
+		inj.OnFire(func() { m.rndv.sendReq.done.Fire() })
+		del.OnFire(func() {
+			r.buf.copyFrom(pay)
+			r.req.done.Fire()
+		})
+	})
+}
+
+func (m *inflight) payloadFits(dst Buffer) bool {
+	if dst.IsPhantom() {
+		return true // phantom receives accept any size
+	}
+	return m.bytes <= int64(len(dst.Data))*8
+}
+
+// sendOn is a blocking send on behalf of sp.
+func (c *Comm) sendOn(sp *sim.Proc, dest, tag int, buf Buffer) {
+	c.isendOn(sp, dest, tag, buf).waitOn(sp)
+}
+
+// recvOn is a blocking receive on behalf of sp.
+func (c *Comm) recvOn(sp *sim.Proc, src, tag int, buf Buffer) Status {
+	req := c.irecvOn(sp, src, tag, buf)
+	req.waitOn(sp)
+	return req.Status
+}
+
+// Isend posts a nonblocking send of buf to dest with the given tag.
+func (c *Comm) Isend(dest, tag int, buf Buffer) *Request {
+	return c.isendOn(c.p.sp, dest, tag, buf)
+}
+
+// Send performs a blocking send (complete when the buffer is reusable).
+func (c *Comm) Send(dest, tag int, buf Buffer) {
+	c.sendOn(c.p.sp, dest, tag, buf)
+}
+
+// Irecv posts a nonblocking receive into buf from src (or AnySource) with
+// the given tag (or AnyTag).
+func (c *Comm) Irecv(src, tag int, buf Buffer) *Request {
+	return c.irecvOn(c.p.sp, src, tag, buf)
+}
+
+// Recv performs a blocking receive and returns the message status.
+func (c *Comm) Recv(src, tag int, buf Buffer) Status {
+	return c.recvOn(c.p.sp, src, tag, buf)
+}
+
+// Sendrecv exchanges messages with two peers in one call, posting the
+// receive first to avoid the rendezvous deadlock of paired blocking sends.
+func (c *Comm) Sendrecv(dest, sendTag int, sendBuf Buffer, src, recvTag int, recvBuf Buffer) Status {
+	rreq := c.irecvOn(c.p.sp, src, recvTag, recvBuf)
+	c.sendOn(c.p.sp, dest, sendTag, sendBuf)
+	rreq.waitOn(c.p.sp)
+	return rreq.Status
+}

@@ -1,0 +1,21 @@
+package mpi
+
+// RunActive implements the paper's per-kernel PPN mechanism (Section
+// III-B): a kernel may want fewer processes per node than the rest of the
+// application, so the surplus ranks are parked while the active ranks work.
+//
+// Inactive ranks post an Ibarrier immediately and poll it with Test +
+// usleep every poll seconds (the paper uses 10 ms); active ranks run body
+// and then post the Ibarrier, which releases everyone into the next phase.
+// All ranks of comm must call RunActive.
+func RunActive(p *Proc, comm *Comm, active bool, poll float64, body func()) {
+	if poll <= 0 {
+		poll = DefaultPollInterval
+	}
+	if !active {
+		p.PollWait(comm.Ibarrier(), poll)
+		return
+	}
+	body()
+	comm.Ibarrier().Wait()
+}

@@ -1,0 +1,69 @@
+package mpi
+
+import "commoverlap/internal/sim"
+
+// Probe and the multi-request wait operations round out the point-to-point
+// API. Progress in the simulation is autonomous, so Iprobe is a pure query
+// of the matching queues, and Probe parks the caller until something
+// matching arrives.
+
+// Iprobe reports whether a message matching (src, tag) — either of which
+// may be the Any* wildcard — is available without receiving it. On a match
+// it returns the message's status.
+func (c *Comm) Iprobe(src, tag int) (Status, bool) {
+	probe := &postedRecv{ctx: c.ctx, src: src, tag: tag}
+	for _, m := range c.p.st.unexpected {
+		if m.matches(probe) {
+			return Status{Source: m.src, Tag: m.tag, Bytes: m.bytes}, true
+		}
+	}
+	return Status{}, false
+}
+
+// Probe blocks until a matching message is available, polling the matching
+// queue each time the rank's clock can advance. It charges the same
+// per-test CPU cost as PollWait's MPI_Test loop, with a short adaptive
+// back-off so the virtual-time cost of waiting is bounded.
+func (c *Comm) Probe(src, tag int) Status {
+	backoff := 1e-6
+	for {
+		if st, ok := c.Iprobe(src, tag); ok {
+			return st
+		}
+		c.p.w.Net.ChargeCPU(c.p.sp, c.p.st.ep, testOverhead)
+		c.p.sp.Sleep(backoff)
+		if backoff < 64e-6 {
+			backoff *= 2
+		}
+	}
+}
+
+// Waitany blocks until at least one request completes and returns its
+// index. Completed requests keep their completed state; call it again with
+// the remaining requests to drain a set. An empty slice returns -1.
+func (p *Proc) Waitany(reqs []*Request) int {
+	if len(reqs) == 0 {
+		return -1
+	}
+	gates := make([]*sim.Gate, len(reqs))
+	for i, r := range reqs {
+		gates[i] = r.done
+	}
+	return p.sp.WaitAny(gates...)
+}
+
+// Waitsome blocks until at least one request completes, then returns the
+// indices of all completed requests.
+func (p *Proc) Waitsome(reqs []*Request) []int {
+	first := p.Waitany(reqs)
+	if first < 0 {
+		return nil
+	}
+	var out []int
+	for i, r := range reqs {
+		if r.done.Fired() {
+			out = append(out, i)
+		}
+	}
+	return out
+}

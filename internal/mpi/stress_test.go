@@ -1,0 +1,180 @@
+package mpi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestRandomCollectiveSequences is the matching-isolation stress test: a
+// random program of collectives (mixed blocking/nonblocking, on the world
+// and on duplicated/split communicators, with random roots and sizes) runs
+// on every rank in the same order, and every operation's result is checked
+// against a serial oracle. Any tag/context cross-talk, ordering violation,
+// or piece-bookkeeping error in the collective schedules shows up here.
+func TestRandomCollectiveSequences(t *testing.T) {
+	run := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := []int{2, 3, 4, 5, 8}[rng.Intn(5)]
+		nOps := rng.Intn(8) + 3
+
+		type op struct {
+			kind  int // 0 bcast, 1 reduce, 2 allreduce, 3 barrier
+			comm  int // 0 world, 1 dup, 2 split-by-parity
+			root  int
+			n     int
+			nb    bool
+			vals  [][]float64 // per world rank contribution
+			check func(rank int, got []float64) bool
+		}
+		ops := make([]*op, nOps)
+		for i := range ops {
+			o := &op{
+				kind: rng.Intn(4),
+				comm: rng.Intn(3),
+				n:    rng.Intn(3000) + 1,
+				nb:   rng.Intn(2) == 0,
+			}
+			o.vals = make([][]float64, p)
+			for r := 0; r < p; r++ {
+				o.vals[r] = make([]float64, o.n)
+				for j := range o.vals[r] {
+					o.vals[r][j] = rng.NormFloat64()
+				}
+			}
+			ops[i] = o
+		}
+
+		ok := true
+		runJob(t, p, min(p, 4), func(pr *Proc) {
+			world := pr.World()
+			dup := world.Dup()
+			par := world.Split(pr.Rank()%2, pr.Rank())
+			comms := []*Comm{world, dup, par}
+
+			// Per-communicator membership in world-rank terms.
+			members := func(ci int) []int {
+				var out []int
+				for r := 0; r < p; r++ {
+					if ci < 2 || r%2 == pr.Rank()%2 {
+						out = append(out, r)
+					}
+				}
+				return out
+			}
+
+			var pending []*Request
+			var checks []func() bool
+			for _, o := range ops {
+				c := comms[o.comm]
+				mem := members(o.comm)
+				root := mem[o.root%len(mem)] // world rank of the root
+				rootCommRank := 0
+				for i, r := range mem {
+					if r == root {
+						rootCommRank = i
+					}
+				}
+				switch o.kind {
+				case 0: // bcast: result is the root's contribution
+					buf := make([]float64, o.n)
+					if pr.Rank() == root {
+						copy(buf, o.vals[root])
+					}
+					want := o.vals[root]
+					verify := func() bool {
+						for j := range buf {
+							if buf[j] != want[j] {
+								return false
+							}
+						}
+						return true
+					}
+					if o.nb {
+						pending = append(pending, c.Ibcast(rootCommRank, F64(buf)))
+						checks = append(checks, verify)
+					} else {
+						c.Bcast(rootCommRank, F64(buf))
+						if !verify() {
+							ok = false
+						}
+					}
+				case 1: // reduce to root
+					send := make([]float64, o.n)
+					copy(send, o.vals[pr.Rank()])
+					recv := Buffer{}
+					var out []float64
+					if pr.Rank() == root {
+						out = make([]float64, o.n)
+						recv = F64(out)
+					}
+					verify := func() bool {
+						if pr.Rank() != root {
+							return true
+						}
+						for j := range out {
+							want := 0.0
+							for _, r := range mem {
+								want += o.vals[r][j]
+							}
+							if math.Abs(out[j]-want) > 1e-10*float64(len(mem)) {
+								return false
+							}
+						}
+						return true
+					}
+					if o.nb {
+						pending = append(pending, c.Ireduce(rootCommRank, F64(send), recv, OpSum))
+						checks = append(checks, verify)
+					} else {
+						c.Reduce(rootCommRank, F64(send), recv, OpSum)
+						if !verify() {
+							ok = false
+						}
+					}
+				case 2: // allreduce in place
+					buf := make([]float64, o.n)
+					copy(buf, o.vals[pr.Rank()])
+					verify := func() bool {
+						for j := range buf {
+							want := 0.0
+							for _, r := range mem {
+								want += o.vals[r][j]
+							}
+							if math.Abs(buf[j]-want) > 1e-10*float64(len(mem)) {
+								return false
+							}
+						}
+						return true
+					}
+					if o.nb {
+						pending = append(pending, c.Iallreduce(F64(buf), OpSum))
+						checks = append(checks, verify)
+					} else {
+						c.Allreduce(F64(buf), OpSum)
+						if !verify() {
+							ok = false
+						}
+					}
+				case 3:
+					if o.nb {
+						pending = append(pending, c.Ibarrier())
+					} else {
+						c.Barrier()
+					}
+				}
+			}
+			Waitall(pending...)
+			for _, v := range checks {
+				if !v() {
+					ok = false
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(run, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

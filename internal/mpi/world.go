@@ -1,0 +1,137 @@
+// Package mpi implements an MPI-3-like message-passing library on top of
+// the simulated fabric in internal/simnet: communicators with Dup/Split,
+// blocking and nonblocking point-to-point operations with tag matching and
+// an eager/rendezvous protocol, and blocking and nonblocking collectives
+// (broadcast, reduce, allreduce, barrier) built from point-to-point messages
+// with the classical tree algorithms (binomial, recursive halving/doubling,
+// Rabenseifner). Nonblocking collectives progress as independent simulation
+// processes that share the posting rank's CPU resource, which is the
+// mechanism that makes communication-communication overlap profitable — and
+// bounded — exactly as in the paper.
+package mpi
+
+import (
+	"fmt"
+
+	"commoverlap/internal/sim"
+	"commoverlap/internal/simnet"
+)
+
+// AnySource and AnyTag are wildcard values for Recv and Irecv.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// World owns the set of ranks of a simulated MPI job.
+type World struct {
+	Eng *sim.Engine
+	Net *simnet.Net
+
+	ranks      []*rankState
+	ctxCounter int
+	splitSlots map[splitKey]*splitSlot
+
+	// BcastStageFactor scales the posting/staging cost of broadcasts
+	// relative to reductions (broadcast implementations stage lazily).
+	BcastStageFactor float64
+}
+
+// rankState is the per-rank communication engine state shared by the rank's
+// main process and any nonblocking-collective child processes.
+type rankState struct {
+	w          *World
+	rank       int
+	ep         *simnet.Endpoint
+	unexpected []*inflight
+	posted     []*postedRecv
+}
+
+// NewWorld creates size ranks placed on nodes according to placement
+// (placement[rank] = node index). A nil placement puts every rank on node
+// rank % net nodes.
+func NewWorld(net *simnet.Net, size int, placement []int) (*World, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("mpi: world size %d", size)
+	}
+	if placement != nil && len(placement) != size {
+		return nil, fmt.Errorf("mpi: placement has %d entries for %d ranks", len(placement), size)
+	}
+	w := &World{
+		Eng:              net.Eng,
+		Net:              net,
+		splitSlots:       make(map[splitKey]*splitSlot),
+		BcastStageFactor: 3.0,
+	}
+	w.ranks = make([]*rankState, size)
+	for r := 0; r < size; r++ {
+		node := r % net.Cfg.Nodes
+		if placement != nil {
+			node = placement[r]
+		}
+		w.ranks[r] = &rankState{w: w, rank: r, ep: net.NewEndpoint(node)}
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// NodeOf returns the node hosting the given world rank.
+func (w *World) NodeOf(rank int) int { return w.ranks[rank].ep.Node }
+
+// Proc is the handle a rank's main function uses for all MPI calls. One is
+// passed to each rank body launched by Launch.
+type Proc struct {
+	w     *World
+	rank  int
+	sp    *sim.Proc
+	st    *rankState
+	world *Comm
+}
+
+// Launch spawns one simulation process per rank running body. Call
+// Engine.Run afterwards to execute the job.
+func (w *World) Launch(body func(p *Proc)) {
+	for r := 0; r < len(w.ranks); r++ {
+		st := w.ranks[r]
+		w.Eng.Spawn(fmt.Sprintf("rank%d", r), func(sp *sim.Proc) {
+			p := &Proc{w: w, rank: st.rank, sp: sp, st: st}
+			p.world = &Comm{p: p, ctx: 0, rank: st.rank, group: identityGroup(len(w.ranks))}
+			body(p)
+		})
+	}
+	w.ctxCounter = 1
+}
+
+// Rank returns the world rank of this process.
+func (p *Proc) Rank() int { return p.rank }
+
+// Size returns the world size.
+func (p *Proc) Size() int { return p.w.Size() }
+
+// Now returns the current virtual time in seconds.
+func (p *Proc) Now() float64 { return p.sp.Now() }
+
+// Node returns the node this rank lives on.
+func (p *Proc) Node() int { return p.st.ep.Node }
+
+// World returns the communicator spanning all ranks.
+func (p *Proc) World() *Comm { return p.world }
+
+// Sleep blocks the rank for d seconds of virtual time (models usleep).
+func (p *Proc) Sleep(d float64) { p.sp.Sleep(d) }
+
+// Compute charges flops of dense arithmetic to this rank, assuming
+// ppnActive ranks share the node's cores.
+func (p *Proc) Compute(flops float64, ppnActive int) {
+	p.w.Net.Compute(p.sp, p.st.ep, flops, ppnActive)
+}
+
+func identityGroup(n int) []int {
+	g := make([]int, n)
+	for i := range g {
+		g[i] = i
+	}
+	return g
+}

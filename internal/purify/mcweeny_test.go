@@ -1,0 +1,70 @@
+package purify
+
+import (
+	"math"
+	"testing"
+
+	"commoverlap/internal/mat"
+)
+
+func TestMcWeenyMatchesCanonical(t *testing.T) {
+	for _, tc := range []struct{ n, ne int }{{10, 3}, {16, 8}, {24, 5}} {
+		f := mat.BandedHamiltonian(tc.n, 4)
+		want, wantSt, err := Serial(f, Options{Ne: tc.ne})
+		if err != nil || !wantSt.Converged {
+			t.Fatalf("canonical reference failed: %v %+v", err, wantSt)
+		}
+		got, st, err := McWeenySerial(f, Options{Ne: tc.ne, Tol: 1e-12, MaxIter: 200})
+		if err != nil {
+			t.Fatalf("n=%d ne=%d: %v", tc.n, tc.ne, err)
+		}
+		if !st.Converged {
+			t.Fatalf("n=%d ne=%d: not converged: %+v", tc.n, tc.ne, st)
+		}
+		if diff := got.MaxAbsDiff(want); diff > 1e-5 {
+			t.Errorf("n=%d ne=%d: McWeeny differs from canonical by %g", tc.n, tc.ne, diff)
+		}
+	}
+}
+
+func TestMcWeenyProjectorProperties(t *testing.T) {
+	const n, ne = 20, 7
+	f := mat.BandedHamiltonian(n, 3)
+	d, _, err := McWeenySerial(f, Options{Ne: ne, Tol: 1e-13, MaxIter: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Trace()-float64(ne)) > 1e-6 {
+		t.Errorf("trace %g", d.Trace())
+	}
+	d2 := mat.New(n, n)
+	mat.Gemm(1, d, d, 0, d2)
+	if diff := d2.MaxAbsDiff(d); diff > 1e-5 {
+		t.Errorf("not idempotent: %g", diff)
+	}
+}
+
+func TestMcWeenyGuessSpectrum(t *testing.T) {
+	f := mat.BandedHamiltonian(18, 4)
+	hmin, hmax := f.Gershgorin()
+	for _, mu := range []float64{hmin, (hmin + hmax) / 2, hmax} {
+		d := mcweenyGuess(f, mu)
+		w, _, err := mat.JacobiEigen(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w[0] < -1e-9 || w[len(w)-1] > 1+1e-9 {
+			t.Errorf("mu=%g: guess spectrum [%g,%g] outside [0,1]", mu, w[0], w[len(w)-1])
+		}
+	}
+}
+
+func TestMcWeenyErrors(t *testing.T) {
+	f := mat.BandedHamiltonian(6, 2)
+	if _, _, err := McWeenySerial(f, Options{Ne: 0}); err == nil {
+		t.Error("Ne=0 accepted")
+	}
+	if _, _, err := McWeenySerial(f, Options{Ne: 7}); err == nil {
+		t.Error("Ne>N accepted")
+	}
+}

@@ -1,0 +1,278 @@
+package purify
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"commoverlap/internal/core"
+	"commoverlap/internal/mat"
+	"commoverlap/internal/mesh"
+	"commoverlap/internal/mpi"
+	"commoverlap/internal/sim"
+	"commoverlap/internal/simnet"
+)
+
+func TestInitialDensityProperties(t *testing.T) {
+	for _, n := range []int{4, 10, 25} {
+		for _, ne := range []int{1, n / 2, n - 1} {
+			if ne <= 0 {
+				continue
+			}
+			f := mat.BandedHamiltonian(n, 4)
+			d0, err := InitialDensity(f, ne)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(d0.Trace()-float64(ne)) > 1e-9 {
+				t.Errorf("n=%d ne=%d: tr D0 = %g", n, ne, d0.Trace())
+			}
+			// Spectrum of D0 must lie in [0, 1].
+			w, _, err := mat.JacobiEigen(d0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w[0] < -1e-9 || w[n-1] > 1+1e-9 {
+				t.Errorf("n=%d ne=%d: D0 spectrum [%g, %g] outside [0,1]", n, ne, w[0], w[n-1])
+			}
+		}
+	}
+}
+
+func TestInitialDensityErrors(t *testing.T) {
+	f := mat.BandedHamiltonian(4, 2)
+	if _, err := InitialDensity(f, 0); err == nil {
+		t.Error("Ne=0 accepted")
+	}
+	if _, err := InitialDensity(f, 5); err == nil {
+		t.Error("Ne>N accepted")
+	}
+	if _, err := InitialDensity(mat.New(2, 3), 1); err == nil {
+		t.Error("non-square accepted")
+	}
+}
+
+func TestSerialConvergesToProjector(t *testing.T) {
+	for _, tc := range []struct{ n, ne int }{{6, 2}, {12, 5}, {20, 9}, {24, 12}} {
+		f := mat.BandedHamiltonian(tc.n, 4)
+		d, st, err := Serial(f, Options{Ne: tc.ne})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.Converged {
+			t.Fatalf("n=%d ne=%d: did not converge in %d iters (idem %g)", tc.n, tc.ne, st.Iters, st.IdemErr)
+		}
+		want, err := mat.SpectralProjector(f, tc.ne)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := d.MaxAbsDiff(want); diff > 1e-6 {
+			t.Errorf("n=%d ne=%d: density differs from spectral projector by %g", tc.n, tc.ne, diff)
+		}
+		if st.TraceErr > 1e-6 {
+			t.Errorf("n=%d ne=%d: trace error %g", tc.n, tc.ne, st.TraceErr)
+		}
+	}
+}
+
+func TestSerialIdempotency(t *testing.T) {
+	n, ne := 16, 7
+	f := mat.BandedHamiltonian(n, 3)
+	d, _, err := Serial(f, Options{Ne: ne, Tol: 1e-12, MaxIter: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := mat.New(n, n)
+	mat.Gemm(1, d, d, 0, d2)
+	if diff := d2.MaxAbsDiff(d); diff > 1e-5 {
+		t.Errorf("D² != D by %g", diff)
+	}
+}
+
+func TestPurifyCoeffsBranches(t *testing.T) {
+	// c <= 1/2 branch: McWeeny-like mix.
+	a, b, g, c := purifyCoeffs(10, 9, 8.6)
+	if c > 0.5 {
+		t.Fatalf("expected low-c branch, c=%g", c)
+	}
+	if math.Abs(a+b+g-1) > 1e-12 {
+		t.Errorf("low branch does not preserve idempotent fixed point: a+b+g=%g", a+b+g)
+	}
+	// c > 1/2 branch.
+	a, b, g, c = purifyCoeffs(10, 9, 8.2)
+	if c <= 0.5 {
+		t.Fatalf("expected high-c branch, c=%g", c)
+	}
+	if a != 0 || math.Abs(b+g-1) > 1e-12 {
+		t.Errorf("high branch wrong: a=%g b+g=%g", a, b+g)
+	}
+}
+
+// Property: purification preserves the trace at every step (canonical
+// purification is trace-conserving by construction).
+func TestTraceConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(12) + 4
+		ne := rng.Intn(n-2) + 1
+		fm := mat.RandSymmetric(n, rng)
+		d, err := InitialDensity(fm, ne)
+		if err != nil {
+			return false
+		}
+		for it := 0; it < 5; it++ {
+			d2, d3 := mat.New(n, n), mat.New(n, n)
+			mat.Gemm(1, d, d, 0, d2)
+			mat.Gemm(1, d, d2, 0, d3)
+			a, b, g, _ := purifyCoeffs(d.Trace(), d2.Trace(), d3.Trace())
+			next := d2.Clone()
+			next.Scale(b)
+			next.Add(a, d)
+			next.Add(g, d3)
+			if math.Abs(next.Trace()-float64(ne)) > 1e-7 {
+				return false
+			}
+			d = next
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// runDistJob executes body on a fresh p^3 world.
+func runDistJob(t *testing.T, p int, body func(pr *mpi.Proc)) {
+	t.Helper()
+	eng := sim.NewEngine()
+	dims := mesh.Cubic(p)
+	net, err := simnet.New(eng, simnet.DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := mpi.NewWorld(net, dims.Size(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Launch(body)
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributedMatchesSerial(t *testing.T) {
+	for _, tc := range []struct {
+		p, n, ne, ndup int
+		v              core.Variant
+	}{
+		{2, 12, 5, 1, core.Baseline},
+		{2, 12, 5, 2, core.Optimized},
+		{2, 13, 6, 4, core.Optimized},
+		{3, 18, 7, 1, core.Original},
+		{2, 12, 5, 1, core.Optimized},
+	} {
+		f := mat.BandedHamiltonian(tc.n, 4)
+		wantD, wantSt, err := Serial(f, Options{Ne: tc.ne})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dims := mesh.Cubic(tc.p)
+		var mu sync.Mutex
+		got := mat.New(tc.n, tc.n)
+		var gotSt Stats
+		runDistJob(t, tc.p, func(pr *mpi.Proc) {
+			env, err := core.NewEnv(pr, dims, core.Config{N: tc.n, NDup: tc.ndup, Real: true})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			var fblk *mat.Matrix
+			if env.M.K == 0 {
+				fblk = mat.BlockView(f, tc.p, env.M.I, env.M.J).Clone()
+			}
+			dblk, st, err := NewDist(env, tc.v).Run(fblk, Options{Ne: tc.ne})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if env.M.K == 0 {
+				mu.Lock()
+				mat.BlockView(got, tc.p, env.M.I, env.M.J).CopyFrom(dblk)
+				gotSt = st
+				mu.Unlock()
+			}
+		})
+		if !gotSt.Converged {
+			t.Fatalf("%+v: distributed did not converge", tc)
+		}
+		if gotSt.Iters != wantSt.Iters {
+			t.Errorf("%+v: iters %d != serial %d", tc, gotSt.Iters, wantSt.Iters)
+		}
+		if diff := got.MaxAbsDiff(wantD); diff > 1e-8 {
+			t.Errorf("%+v: distributed density differs by %g", tc, diff)
+		}
+		if gotSt.KernelTime <= 0 {
+			t.Errorf("%+v: no kernel time recorded", tc)
+		}
+	}
+}
+
+func TestDistributedPhantomRunsFixedIters(t *testing.T) {
+	dims := mesh.Cubic(2)
+	runDistJob(t, 2, func(pr *mpi.Proc) {
+		env, err := core.NewEnv(pr, dims, core.Config{N: 3000, NDup: 4})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		_, st, err := NewDist(env, core.Optimized).Run(nil, Options{Ne: 100, MaxIter: 3})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if st.Iters != 3 {
+			t.Errorf("phantom run did %d iters, want 3", st.Iters)
+		}
+		if st.KernelTime <= 0 {
+			t.Error("no kernel time")
+		}
+	})
+}
+
+func TestRunActiveParksInactiveRanks(t *testing.T) {
+	// Half the ranks purify a small system; the others park. Everyone must
+	// be released after the active work.
+	var mu sync.Mutex
+	var activeEnd float64
+	released := map[int]float64{}
+	eng := sim.NewEngine()
+	net, _ := simnet.New(eng, simnet.DefaultConfig(4))
+	w, _ := mpi.NewWorld(net, 8, nil)
+	w.Launch(func(pr *mpi.Proc) {
+		active := pr.Rank() < 4
+		mpi.RunActive(pr, pr.World(), active, 10e-3, func() {
+			pr.Sleep(25e-3) // the active kernel's work
+			mu.Lock()
+			if pr.Now() > activeEnd {
+				activeEnd = pr.Now()
+			}
+			mu.Unlock()
+		})
+		mu.Lock()
+		released[pr.Rank()] = pr.Now()
+		mu.Unlock()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for r, at := range released {
+		if at < activeEnd {
+			t.Errorf("rank %d released at %g before active work ended at %g", r, at, activeEnd)
+		}
+		if at > activeEnd+25e-3 {
+			t.Errorf("rank %d woke too late: %g vs %g", r, at, activeEnd)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package purify
+
+import (
+	"math"
+
+	"commoverlap/internal/sparse"
+)
+
+// SparseSerial runs canonical purification in sparse arithmetic with
+// magnitude thresholding after each step — the linear-scaling-DFT regime
+// the paper's introduction cites (Bowler & Miyazaki): for a Hamiltonian
+// with exponentially decaying off-diagonals, the density matrix stays
+// sparse and the cost per iteration stays O(N).
+//
+// threshold controls the truncation (0 disables it and the iteration is
+// exact sparse arithmetic). The converged density matches the dense result
+// to O(threshold x iterations).
+func SparseSerial(f *sparse.CSR, opt Options, threshold float64) (*sparse.CSR, Stats, error) {
+	opt, err := opt.norm(f.Rows)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	n := float64(f.Rows)
+
+	// D0 = (lambda/N)(mu I - F) + (Ne/N) I, all sparse.
+	hmin, hmax := f.Gershgorin()
+	mu := f.Trace() / n
+	lambda := initialLambda(n, float64(opt.Ne), mu, hmin, hmax)
+	d := f.Clone()
+	d.Scale(-lambda / n)
+	d = d.AddIdentity(lambda*mu/n+float64(opt.Ne)/n, 0)
+
+	var st Stats
+	for st.Iters = 0; st.Iters < opt.MaxIter; st.Iters++ {
+		d2 := sparse.SpGEMM(d, d)
+		d3 := sparse.SpGEMM(d, d2)
+		trD, trD2, trD3 := d.Trace(), d2.Trace(), d3.Trace()
+		st.IdemErr = (trD - trD2) / n
+		if st.IdemErr < opt.Tol {
+			st.Converged = true
+			break
+		}
+		a, b, g, _ := purifyCoeffs(trD, trD2, trD3)
+		d2.Scale(b)
+		next := sparse.Add(d2, g, d3)
+		next = sparse.Add(next, a, d)
+		if threshold > 0 {
+			next.Threshold(threshold)
+		}
+		d = next
+	}
+	st.TraceErr = math.Abs(d.Trace() - float64(opt.Ne))
+	return d, st, nil
+}

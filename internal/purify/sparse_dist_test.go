@@ -1,0 +1,115 @@
+package purify
+
+import (
+	"sync"
+	"testing"
+
+	"commoverlap/internal/core"
+	"commoverlap/internal/mat"
+	"commoverlap/internal/mpi"
+	"commoverlap/internal/sim"
+	"commoverlap/internal/simnet"
+	"commoverlap/internal/sparse"
+)
+
+func spBlockOf(h *sparse.CSR, q, i, j int) *sparse.CSR {
+	return sparse.FromDense(mat.BlockView(h.ToDense(), q, i, j).Clone(), 0)
+}
+
+func TestSparseDistMatchesSparseSerial(t *testing.T) {
+	for _, tc := range []struct {
+		q, n, ne, hb int
+		pipelined    bool
+	}{
+		{2, 16, 4, 3, false},
+		{2, 17, 5, 3, true}, // uneven blocks: diagonal crosses block edges
+		{3, 21, 6, 4, true},
+	} {
+		h := sparse.BandedHamiltonian(tc.n, tc.hb, 4)
+		wantD, wantSt, err := SparseSerial(h, Options{Ne: tc.ne}, 0)
+		if err != nil || !wantSt.Converged {
+			t.Fatalf("%+v: serial sparse failed: %v %+v", tc, err, wantSt)
+		}
+		var mu sync.Mutex
+		got := mat.New(tc.n, tc.n)
+		var gotSt Stats
+		engRanks := tc.q * tc.q
+		runSparseJob(t, engRanks, func(pr *mpi.Proc) {
+			env, err := core.NewSpEnv(pr, tc.q, tc.n, 2, 1, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			blk := spBlockOf(h, tc.q, env.M.I, env.M.J)
+			sd := &SparseDist{Env: env, Pipelined: tc.pipelined}
+			dblk, st, err := sd.Run(blk, Options{Ne: tc.ne})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			mat.BlockView(got, tc.q, env.M.I, env.M.J).CopyFrom(dblk.ToDense())
+			gotSt = st
+			mu.Unlock()
+		})
+		if !gotSt.Converged || gotSt.Iters != wantSt.Iters {
+			t.Fatalf("%+v: distributed sparse diverged: %+v vs %+v", tc, gotSt, wantSt)
+		}
+		if diff := got.MaxAbsDiff(wantD.ToDense()); diff > 1e-9 {
+			t.Errorf("%+v: density differs by %g", tc, diff)
+		}
+	}
+}
+
+func TestSparseDistThresholded(t *testing.T) {
+	const q, n, ne, hb = 2, 40, 10, 3
+	h := sparse.BandedHamiltonian(n, hb, 1.0)
+	var nnz int
+	var st Stats
+	runSparseJob(t, q*q, func(pr *mpi.Proc) {
+		env, err := core.NewSpEnv(pr, q, n, 1, 1, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		blk := spBlockOf(h, q, env.M.I, env.M.J)
+		sd := &SparseDist{Env: env, Threshold: 1e-5}
+		dblk, s, err := sd.Run(blk, Options{Ne: ne, Tol: 1e-4})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if pr.Rank() == 0 {
+			nnz = dblk.NNZ()
+			st = s
+		}
+	})
+	if !st.Converged {
+		t.Fatalf("thresholded distributed run did not converge: %+v", st)
+	}
+	if st.TraceErr > 1e-3 {
+		t.Errorf("trace error %g", st.TraceErr)
+	}
+	blockArea := (n / q) * (n / q)
+	if nnz >= blockArea {
+		t.Errorf("block not sparse: %d of %d", nnz, blockArea)
+	}
+}
+
+// runSparseJob launches a flat world of the given size.
+func runSparseJob(t *testing.T, ranks int, body func(pr *mpi.Proc)) {
+	t.Helper()
+	eng := sim.NewEngine()
+	net, err := simnet.New(eng, simnet.DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := mpi.NewWorld(net, ranks, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Launch(body)
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,236 @@
+// Package scf is a miniature self-consistent-field driver in the shape of
+// the paper's host application (GTFock's Hartree–Fock loop): each outer
+// iteration builds a Fock matrix (a compute-heavy phase that wants every
+// launched process) and purifies it into a density matrix (the
+// communication-heavy SymmSquareCube phase that may want a different
+// number of processes per node). The driver exercises the paper's
+// per-kernel PPN mechanism end to end: surplus ranks park on an Ibarrier
+// during purification and wake for the next Fock build.
+//
+// The "Fock build" is a caricature with the right data dependence:
+// F_{k+1} = F0 + mix * D_k, plus a synthetic flop charge and a world
+// allreduce standing in for integral computation and Fock assembly. The
+// SCF loop therefore genuinely iterates to a fixed point, and the
+// distributed driver must match the serial reference exactly.
+package scf
+
+import (
+	"fmt"
+	"math"
+
+	"commoverlap/internal/core"
+	"commoverlap/internal/mat"
+	"commoverlap/internal/mpi"
+	"commoverlap/internal/purify"
+)
+
+// Config controls the driver.
+type Config struct {
+	N  int // basis size (matrix dimension)
+	Ne int // electron count
+
+	// Mix is the density feedback strength of the synthetic Fock build
+	// (small values keep the fixed-point iteration contractive).
+	Mix float64
+
+	// MaxSCF caps outer iterations; SCFTol is the convergence threshold on
+	// ||D_k - D_{k-1}||_F / N.
+	MaxSCF int
+	SCFTol float64
+
+	// FockFlopsPerRank is the synthetic integral-computation cost charged
+	// to every rank each Fock build.
+	FockFlopsPerRank float64
+
+	// Purify configures the inner purification.
+	Purify purify.Options
+
+	// Variant and NDup select the SymmSquareCube schedule.
+	Variant core.Variant
+	NDup    int
+
+	Real bool
+	PPN  int // node-sharing factor of the *active* purification ranks
+}
+
+func (c *Config) norm() error {
+	if c.N <= 0 {
+		return fmt.Errorf("scf: N = %d", c.N)
+	}
+	if c.Mix == 0 {
+		c.Mix = 0.05
+	}
+	if c.MaxSCF == 0 {
+		c.MaxSCF = 20
+	}
+	if c.SCFTol == 0 {
+		c.SCFTol = 1e-9
+	}
+	if c.NDup == 0 {
+		c.NDup = 1
+	}
+	if c.FockFlopsPerRank == 0 {
+		c.FockFlopsPerRank = 1e9
+	}
+	c.Purify.Ne = c.Ne
+	return nil
+}
+
+// Stats reports a driver run.
+type Stats struct {
+	SCFIters    int
+	Converged   bool
+	DeltaD      float64 // final ||D_k - D_{k-1}||_F / N
+	FockTime    float64 // virtual time in Fock builds (this rank)
+	PurifyTime  float64 // virtual time inside the purification phase
+	PurifyIters int     // total inner purification iterations
+}
+
+// Serial runs the SCF loop with dense serial arithmetic — the oracle for
+// the distributed driver.
+func Serial(f0 *mat.Matrix, cfg Config) (*mat.Matrix, Stats, error) {
+	if err := cfg.norm(); err != nil {
+		return nil, Stats{}, err
+	}
+	var st Stats
+	f := f0.Clone()
+	var prev *mat.Matrix
+	for st.SCFIters = 0; st.SCFIters < cfg.MaxSCF; st.SCFIters++ {
+		d, pst, err := purify.Serial(f, cfg.Purify)
+		if err != nil {
+			return nil, st, err
+		}
+		st.PurifyIters += pst.Iters
+		if prev != nil {
+			diff := d.Clone()
+			diff.Add(-1, prev)
+			st.DeltaD = diff.FrobNorm() / float64(cfg.N)
+			if st.DeltaD < cfg.SCFTol {
+				st.Converged = true
+				st.SCFIters++ // count the purification this iteration did
+				return d, st, nil
+			}
+		}
+		prev = d
+		f = f0.Clone()
+		f.Add(cfg.Mix, d)
+	}
+	return prev, st, nil
+}
+
+// Driver is the distributed SCF state for one rank.
+type Driver struct {
+	Cfg Config
+	// Active ranks run purification on env's mesh; every rank (active or
+	// not) participates in the Fock build and the parking barrier on world.
+	World  *mpi.Comm
+	Active bool
+	Env    *core.Env // nil on inactive ranks
+	P      *mpi.Proc
+}
+
+// NewDriver assembles a driver. env must be non-nil exactly on the ranks
+// where active is true; all ranks of world must call Run together.
+func NewDriver(p *mpi.Proc, world *mpi.Comm, active bool, env *core.Env, cfg Config) (*Driver, error) {
+	if err := cfg.norm(); err != nil {
+		return nil, err
+	}
+	if active && env == nil {
+		return nil, fmt.Errorf("scf: active rank %d has no kernel environment", p.Rank())
+	}
+	return &Driver{Cfg: cfg, World: world, Active: active, Env: env, P: p}, nil
+}
+
+// fockBuild charges the synthetic integral work and performs the assembly
+// allreduce every rank participates in.
+func (dr *Driver) fockBuild(scratch mpi.Buffer) {
+	dr.P.Compute(dr.Cfg.FockFlopsPerRank, dr.Cfg.PPN)
+	dr.World.Allreduce(scratch, mpi.OpSum)
+}
+
+// Run executes the SCF loop. f0blk is this rank's plane-0 block of F0
+// (nil off the purification mesh's plane 0 or in phantom mode). It returns
+// this rank's final density block and statistics.
+func (dr *Driver) Run(f0blk *mat.Matrix) (*mat.Matrix, Stats, error) {
+	cfg := dr.Cfg
+	var st Stats
+
+	// The Fock-assembly allreduce payload: one block's worth of data.
+	var scratch mpi.Buffer
+	blockBytes := int64(cfg.N) * int64(cfg.N) * 8 / int64(dr.World.Size())
+	if blockBytes < 8 {
+		blockBytes = 8
+	}
+	if cfg.Real {
+		scratch = mpi.F64(make([]float64, blockBytes/8))
+	} else {
+		scratch = mpi.Phantom(blockBytes)
+	}
+
+	onPlane := dr.Active && dr.Env.M.K == 0
+	var f *mat.Matrix
+	if onPlane && f0blk != nil {
+		f = f0blk.Clone()
+	}
+
+	var dist *purify.Dist
+	if dr.Active {
+		dist = purify.NewDist(dr.Env, cfg.Variant)
+	}
+
+	var dPrev, dCur *mat.Matrix
+	for st.SCFIters = 0; st.SCFIters < cfg.MaxSCF; st.SCFIters++ {
+		t0 := dr.P.Now()
+		dr.fockBuild(scratch)
+		st.FockTime += dr.P.Now() - t0
+
+		// Purification with surplus ranks parked (paper Section III-B).
+		t1 := dr.P.Now()
+		var perr error
+		mpi.RunActive(dr.P, dr.World, dr.Active, mpi.DefaultPollInterval, func() {
+			d, pst, err := dist.Run(f, cfg.Purify)
+			if err != nil {
+				perr = err
+				return
+			}
+			st.PurifyIters += pst.Iters
+			dCur = d
+		})
+		if perr != nil {
+			return nil, st, perr
+		}
+		st.PurifyTime += dr.P.Now() - t1
+
+		// SCF convergence: ||D_k - D_{k-1}||_F via one scalar allreduce.
+		local := 0.0
+		if cfg.Real && onPlane && dPrev != nil && dCur != nil {
+			diff := dCur.Clone()
+			diff.Add(-1, dPrev)
+			nrm := diff.FrobNorm()
+			local = nrm * nrm
+		}
+		sum := []float64{local}
+		if cfg.Real {
+			dr.World.Allreduce(mpi.F64(sum), mpi.OpSum)
+		} else {
+			dr.World.Allreduce(mpi.Phantom(8), mpi.OpSum)
+		}
+		// The convergence decision must be identical on every rank — parked
+		// extras included — so it keys off the allreduced norm and the
+		// iteration count, never off rank-local state.
+		if cfg.Real && st.SCFIters > 0 {
+			st.DeltaD = math.Sqrt(sum[0]) / float64(cfg.N)
+			if st.DeltaD < cfg.SCFTol {
+				st.Converged = true
+				st.SCFIters++
+				break
+			}
+		}
+		if cfg.Real && onPlane {
+			dPrev = dCur
+			f = f0blk.Clone()
+			f.Add(cfg.Mix, dCur)
+		}
+	}
+	return dCur, st, nil
+}

@@ -1,0 +1,153 @@
+package scf
+
+import (
+	"sync"
+	"testing"
+
+	"commoverlap/internal/core"
+	"commoverlap/internal/mat"
+	"commoverlap/internal/mesh"
+	"commoverlap/internal/mpi"
+	"commoverlap/internal/purify"
+	"commoverlap/internal/sim"
+	"commoverlap/internal/simnet"
+)
+
+func TestSerialSCFConverges(t *testing.T) {
+	f0 := mat.BandedHamiltonian(24, 4)
+	d, st, err := Serial(f0, Config{N: 24, Ne: 6, Real: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatalf("SCF did not converge: %+v", st)
+	}
+	if st.SCFIters < 2 {
+		t.Errorf("suspiciously few SCF iterations: %d", st.SCFIters)
+	}
+	// The fixed point is still an idempotent projector with trace Ne.
+	d2 := mat.New(24, 24)
+	mat.Gemm(1, d, d, 0, d2)
+	if diff := d2.MaxAbsDiff(d); diff > 1e-6 {
+		t.Errorf("fixed-point density not idempotent: %g", diff)
+	}
+}
+
+func TestSerialConfigValidation(t *testing.T) {
+	if _, _, err := Serial(mat.BandedHamiltonian(4, 2), Config{N: 0}); err == nil {
+		t.Error("N=0 accepted")
+	}
+}
+
+// runSCFJob runs the distributed driver: meshP^3 active ranks + parked
+// extras, and returns the assembled density plus stats.
+func runSCFJob(t *testing.T, meshP, extraRanks, n int, cfg Config, f0 *mat.Matrix) (*mat.Matrix, Stats) {
+	t.Helper()
+	dims := mesh.Cubic(meshP)
+	total := dims.Size() + extraRanks
+	eng := sim.NewEngine()
+	net, err := simnet.New(eng, simnet.DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := mpi.NewWorld(net, total, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	got := mat.New(n, n)
+	var gotSt Stats
+	w.Launch(func(pr *mpi.Proc) {
+		active := pr.Rank() < dims.Size()
+		sub := pr.World().Split(boolColor(active), pr.Rank())
+		var env *core.Env
+		if active {
+			var err error
+			env, err = core.NewEnvOn(pr, sub, dims, core.Config{N: n, NDup: cfg.NDup, Real: cfg.Real})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		dr, err := NewDriver(pr, pr.World(), active, env, cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		var f0blk *mat.Matrix
+		if active && env.M.K == 0 && cfg.Real {
+			f0blk = mat.BlockView(f0, meshP, env.M.I, env.M.J).Clone()
+		}
+		dblk, st, err := dr.Run(f0blk)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if active && env.M.K == 0 && cfg.Real {
+			mu.Lock()
+			mat.BlockView(got, meshP, env.M.I, env.M.J).CopyFrom(dblk)
+			gotSt = st
+			mu.Unlock()
+		} else if active && env.M.K == 0 {
+			mu.Lock()
+			gotSt = st
+			mu.Unlock()
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return got, gotSt
+}
+
+func boolColor(b bool) int {
+	if b {
+		return 0
+	}
+	return 1
+}
+
+func TestDistributedSCFMatchesSerial(t *testing.T) {
+	const n, ne, meshP = 20, 5, 2
+	f0 := mat.BandedHamiltonian(n, 4)
+	cfg := Config{N: n, Ne: ne, Real: true, NDup: 2, Variant: core.Optimized}
+	wantD, wantSt, err := Serial(f0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wantSt.Converged {
+		t.Fatal("serial SCF did not converge")
+	}
+	for _, extras := range []int{0, 4} { // with and without parked ranks
+		got, gotSt := runSCFJob(t, meshP, extras, n, cfg, f0)
+		if !gotSt.Converged {
+			t.Fatalf("extras=%d: distributed SCF did not converge: %+v", extras, gotSt)
+		}
+		if gotSt.SCFIters != wantSt.SCFIters {
+			t.Errorf("extras=%d: SCF iters %d != serial %d", extras, gotSt.SCFIters, wantSt.SCFIters)
+		}
+		if gotSt.PurifyIters != wantSt.PurifyIters {
+			t.Errorf("extras=%d: purify iters %d != serial %d", extras, gotSt.PurifyIters, wantSt.PurifyIters)
+		}
+		if diff := got.MaxAbsDiff(wantD); diff > 1e-7 {
+			t.Errorf("extras=%d: density differs by %g", extras, diff)
+		}
+	}
+}
+
+func TestPhantomSCFRunsAndTimes(t *testing.T) {
+	cfg := Config{
+		N: 3000, Ne: 600, NDup: 4, Variant: core.Optimized,
+		MaxSCF: 3, Purify: purify.Options{Ne: 600, MaxIter: 2},
+	}
+	_, st := runSCFJob(t, 2, 8, 3000, cfg, nil)
+	if st.SCFIters != 3 {
+		t.Errorf("phantom SCF ran %d outer iters, want 3", st.SCFIters)
+	}
+	if st.PurifyIters != 6 {
+		t.Errorf("phantom purify iters %d, want 6", st.PurifyIters)
+	}
+	if st.FockTime <= 0 || st.PurifyTime <= 0 {
+		t.Errorf("phase times not recorded: %+v", st)
+	}
+}

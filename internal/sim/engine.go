@@ -1,0 +1,173 @@
+// Package sim provides a sequential, deterministic, process-oriented
+// discrete-event simulator.
+//
+// Simulation processes are goroutines, but exactly one process executes at
+// any instant: the engine resumes the process with the earliest pending
+// event, the process runs until it blocks (Sleep, gate wait, park), and
+// control returns to the engine. This cooperative scheme makes all shared
+// state mutation race-free and the whole simulation deterministic: two runs
+// with the same inputs produce identical virtual-time traces.
+//
+// Virtual time is a float64 in seconds. The clock only moves when the engine
+// pops an event; a running process acts at the engine's current time.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Engine is the simulation scheduler. Create one with NewEngine, add
+// processes with Spawn, then call Run to execute until no events remain.
+type Engine struct {
+	now    float64
+	events eventHeap
+	seq    int64
+	yield  chan struct{}
+	live   map[*Proc]struct{}
+	idseq  int
+	closed bool
+}
+
+type event struct {
+	t   float64
+	seq int64
+	p   *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// NewEngine returns an empty engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{
+		yield: make(chan struct{}),
+		live:  make(map[*Proc]struct{}),
+	}
+}
+
+// Now reports the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Proc is a simulation process. All methods must be called from the
+// goroutine running the process's body function.
+type Proc struct {
+	eng       *Engine
+	ID        int
+	Name      string
+	resume    chan struct{}
+	pending   bool // an event for this proc is scheduled and not yet delivered
+	blockedOn string
+}
+
+// Eng returns the engine this process belongs to.
+func (p *Proc) Eng() *Engine { return p.eng }
+
+// Now reports the current virtual time. It equals the engine's clock while
+// the process is running.
+func (p *Proc) Now() float64 { return p.eng.now }
+
+// Spawn creates a process that starts at the current virtual time and runs
+// fn. It may be called before Run or from inside a running process.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	if e.closed {
+		panic("sim: Spawn after Run returned")
+	}
+	p := &Proc{eng: e, ID: e.idseq, Name: name, resume: make(chan struct{})}
+	e.idseq++
+	e.live[p] = struct{}{}
+	go func() {
+		<-p.resume
+		fn(p)
+		delete(e.live, p)
+		e.yield <- struct{}{}
+	}()
+	e.wakeAt(e.now, p)
+	return p
+}
+
+// wakeAt schedules p to resume at time t (>= now). It is a no-op if p
+// already has a pending wakeup, preserving the invariant that a parked
+// process is resumed exactly once.
+func (e *Engine) wakeAt(t float64, p *Proc) {
+	if p.pending {
+		return
+	}
+	if t < e.now {
+		t = e.now
+	}
+	p.pending = true
+	heap.Push(&e.events, event{t: t, seq: e.seq, p: p})
+	e.seq++
+}
+
+// Run executes the simulation until no events remain. It returns an error if
+// processes are still alive but permanently blocked (deadlock), listing them.
+func (e *Engine) Run() error {
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(event)
+		if ev.t < e.now {
+			panic(fmt.Sprintf("sim: time went backwards: %g -> %g", e.now, ev.t))
+		}
+		e.now = ev.t
+		ev.p.pending = false
+		ev.p.resume <- struct{}{}
+		<-e.yield
+	}
+	e.closed = true
+	if len(e.live) > 0 {
+		names := make([]string, 0, len(e.live))
+		for p := range e.live {
+			names = append(names, fmt.Sprintf("%s(#%d) blocked on %s", p.Name, p.ID, p.blockedOn))
+		}
+		sort.Strings(names)
+		return fmt.Errorf("sim: deadlock, %d live processes: %v", len(names), names)
+	}
+	return nil
+}
+
+// SleepUntil blocks the process until virtual time t. Times in the past
+// resume immediately (at the current time).
+func (p *Proc) SleepUntil(t float64) {
+	p.eng.wakeAt(t, p)
+	p.swap("sleep")
+}
+
+// Sleep blocks the process for d seconds of virtual time.
+func (p *Proc) Sleep(d float64) {
+	if d < 0 {
+		d = 0
+	}
+	p.SleepUntil(p.eng.now + d)
+}
+
+// park blocks the process with no scheduled wakeup; something else must call
+// wakeAt (via a Gate) to resume it. why is reported on deadlock.
+func (p *Proc) park(why string) {
+	p.swap(why)
+}
+
+// swap transfers control to the engine and waits to be resumed.
+func (p *Proc) swap(why string) {
+	p.blockedOn = why
+	p.eng.yield <- struct{}{}
+	<-p.resume
+	p.blockedOn = ""
+}

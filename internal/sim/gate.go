@@ -1,0 +1,112 @@
+package sim
+
+// Gate is a one-shot completion signal. Processes block on it with Wait (or
+// WaitAny); Fire releases all current and future waiters. Gates also carry
+// lightweight callbacks that run inline at fire time, which is how derived
+// events (e.g. "message delivered, enqueue it at the receiver") are chained
+// without spawning a process per hop.
+type Gate struct {
+	eng     *Engine
+	fired   bool
+	t       float64 // fire time, valid once fired
+	waiters []*Proc
+	cbs     []func()
+}
+
+// NewGate returns an unfired gate.
+func (e *Engine) NewGate() *Gate { return &Gate{eng: e} }
+
+// Fired reports whether the gate has fired.
+func (g *Gate) Fired() bool { return g.fired }
+
+// FiredAt returns the virtual time the gate fired. It is only meaningful
+// once Fired is true.
+func (g *Gate) FiredAt() float64 { return g.t }
+
+// Fire releases the gate at the current virtual time. Firing an already
+// fired gate is a no-op. Callbacks run inline, in registration order, before
+// any waiter resumes.
+func (g *Gate) Fire() {
+	if g.fired {
+		return
+	}
+	g.fired = true
+	g.t = g.eng.now
+	cbs := g.cbs
+	g.cbs = nil
+	for _, cb := range cbs {
+		cb()
+	}
+	ws := g.waiters
+	g.waiters = nil
+	for _, w := range ws {
+		g.eng.wakeAt(g.eng.now, w)
+	}
+}
+
+// OnFire registers cb to run when the gate fires. If the gate has already
+// fired, cb runs immediately. Callbacks must not block: they execute inside
+// whatever process happens to fire the gate.
+func (g *Gate) OnFire(cb func()) {
+	if g.fired {
+		cb()
+		return
+	}
+	g.cbs = append(g.cbs, cb)
+}
+
+// Wait blocks p until the gate fires. Returns immediately if already fired.
+func (p *Proc) Wait(g *Gate) {
+	if g.fired {
+		return
+	}
+	g.waiters = append(g.waiters, p)
+	p.park("gate")
+}
+
+// WaitAny blocks p until at least one of the gates fires and returns the
+// index of the first fired gate (lowest index wins when several have fired).
+// An empty gate list returns -1 immediately.
+func (p *Proc) WaitAny(gates ...*Gate) int {
+	for i, g := range gates {
+		if g.fired {
+			return i
+		}
+	}
+	if len(gates) == 0 {
+		return -1
+	}
+	for _, g := range gates {
+		g.waiters = append(g.waiters, p)
+	}
+	p.park("gate-any")
+	idx := -1
+	for i, g := range gates {
+		if g.fired && idx < 0 {
+			idx = i
+		}
+		if !g.fired {
+			g.removeWaiter(p)
+		}
+	}
+	if idx < 0 {
+		panic("sim: WaitAny woke with no fired gate")
+	}
+	return idx
+}
+
+func (g *Gate) removeWaiter(p *Proc) {
+	for i, w := range g.waiters {
+		if w == p {
+			g.waiters = append(g.waiters[:i], g.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// WaitAll blocks p until every gate has fired.
+func (p *Proc) WaitAll(gates ...*Gate) {
+	for _, g := range gates {
+		p.Wait(g)
+	}
+}

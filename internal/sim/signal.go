@@ -1,0 +1,31 @@
+package sim
+
+// Signal is a re-armable single-waiter wakeup: one process waits, another
+// notifies. Unlike Gate it can be used repeatedly, which producer/consumer
+// pairs (the two halves of a network transfer) need.
+type Signal struct {
+	eng    *Engine
+	waiter *Proc
+}
+
+// NewSignal returns a signal with no waiter.
+func (e *Engine) NewSignal() *Signal { return &Signal{eng: e} }
+
+// Wait parks p until the next Notify. Only one process may wait at a time.
+func (p *Proc) WaitSignal(s *Signal) {
+	if s.waiter != nil {
+		panic("sim: Signal already has a waiter")
+	}
+	s.waiter = p
+	p.park("signal")
+}
+
+// Notify wakes the waiting process (at the current time), if any.
+func (s *Signal) Notify() {
+	if s.waiter == nil {
+		return
+	}
+	w := s.waiter
+	s.waiter = nil
+	s.eng.wakeAt(s.eng.now, w)
+}

@@ -1,0 +1,376 @@
+// Package simnet models a distributed-memory cluster fabric on top of the
+// sim engine: nodes with a full-duplex network link each, and per-process
+// CPU resources that pay software overheads (matching, marshalling, copies).
+//
+// A message is segmented into protocol chunks. Chunk k of a transfer flows
+// store-and-forward through four FIFO resources
+//
+//	sender CPU -> sender-node egress wire -> receiver-node ingress wire -> receiver CPU
+//
+// so chunks of one message pipeline across stages, and chunks of concurrent
+// messages interleave on shared stages. This reproduces the two effects the
+// paper exploits:
+//
+//   - a single process cannot saturate the wire, because its per-byte
+//     software cost (1/CPUCopyRate) exceeds the per-byte wire cost
+//     (1/WireBandwidth); more processes per node parallelize the CPU stages;
+//   - while one operation's CPU stage (or synchronization gap) runs, the
+//     wire is free for another outstanding operation's chunks, so overlapped
+//     communication raises wire utilization.
+package simnet
+
+import (
+	"fmt"
+
+	"commoverlap/internal/sim"
+)
+
+// Config holds the machine model parameters. The defaults are calibrated to
+// the Stampede2 Skylake + 100 Gbps Omni-Path numbers reported in the paper
+// (peak unidirectional p2p bandwidth ~12 GB/s, microsecond-scale latency,
+// node DGEMM rate ~1.5 TF with 48 cores).
+type Config struct {
+	Nodes int // number of nodes in the machine
+
+	// Wire (per node, per direction).
+	WireBandwidth float64 // bytes/s through a node's NIC, each direction
+	WireLatency   float64 // seconds of leading-edge latency per chunk
+
+	// CoreBandwidth models the fabric's shared core (Stampede2's fat tree
+	// has six core switches): aggregate bytes/s available to all
+	// inter-node traffic crossing the core. Zero means a non-blocking
+	// fabric (the default; Stampede2's tree is close to non-blocking for
+	// 64 nodes). Positive values let experiments study oversubscription.
+	CoreBandwidth float64
+
+	// Per-process software costs.
+	CPUCopyRate  float64 // bytes/s one process can marshal/inject or extract (eager copies)
+	DMARate      float64 // bytes/s of residual CPU involvement on the zero-copy (rendezvous/DMA) path
+	SendOverhead float64 // s of sender CPU per chunk (header, descriptor)
+	RecvOverhead float64 // s of receiver CPU per chunk (matching, completion)
+	MsgOverhead  float64 // s of sender CPU once per message (setup)
+
+	// Protocol.
+	ChunkBytes int64 // segmentation size of the pipeline
+	EagerLimit int64 // messages <= this skip the rendezvous handshake
+
+	// Intra-node transport (shared memory).
+	ShmBandwidth float64 // bytes/s of a node's memory bus for IPC copies
+	ShmLatency   float64 // seconds per intra-node message
+
+	// Computation.
+	ReduceRate float64 // bytes/s a process combines during reductions
+	StageRate  float64 // bytes/s for staging/packing a nonblocking collective
+	NodeFlops  float64 // dense-GEMM flop/s of a whole node (all cores)
+}
+
+// DefaultConfig returns the Stampede2-like calibration used by the
+// reproduction benchmarks. See DESIGN.md §5 for the calibration targets.
+func DefaultConfig(nodes int) Config {
+	return Config{
+		Nodes:         nodes,
+		WireBandwidth: 12.4e9,  // ~12 GB/s peak unidirectional (paper Fig. 3)
+		WireLatency:   1.0e-6,  // ~1 us Omni-Path fabric latency
+		CPUCopyRate:   8.0e9,   // single-process copy rate, binds eager/small messages
+		DMARate:       10.0e9,  // per-process DMA progress: one rank cannot fill the wire
+		SendOverhead:  0.35e-6, // per-chunk descriptor/progress cost
+		RecvOverhead:  0.35e-6,
+		MsgOverhead:   1.2e-6,
+		ChunkBytes:    256 << 10,
+		EagerLimit:    64 << 10,
+		ShmBandwidth:  40.0e9, // aggregate per-node memory-bus rate for IPC copies
+		ShmLatency:    0.6e-6,
+		ReduceRate:    2.6e9,   // streaming sum: 2 loads + 1 store, NUMA-bound
+		StageRate:     12.0e9,  // one packing pass over the buffer
+		NodeFlops:     1.56e12, // measured in the paper: 0.01794 s / 2 GEMMs
+	}
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	switch {
+	case c.Nodes <= 0:
+		return fmt.Errorf("simnet: Nodes = %d, need > 0", c.Nodes)
+	case c.WireBandwidth <= 0 || c.CPUCopyRate <= 0 || c.DMARate <= 0 || c.ShmBandwidth <= 0:
+		return fmt.Errorf("simnet: bandwidths must be positive")
+	case c.ChunkBytes <= 0:
+		return fmt.Errorf("simnet: ChunkBytes = %d, need > 0", c.ChunkBytes)
+	case c.WireLatency < 0 || c.SendOverhead < 0 || c.RecvOverhead < 0 || c.MsgOverhead < 0 || c.ShmLatency < 0:
+		return fmt.Errorf("simnet: latencies and overheads must be >= 0")
+	case c.CoreBandwidth < 0:
+		return fmt.Errorf("simnet: CoreBandwidth must be >= 0 (0 = non-blocking)")
+	case c.ReduceRate <= 0 || c.StageRate <= 0 || c.NodeFlops <= 0:
+		return fmt.Errorf("simnet: compute rates must be positive")
+	}
+	return nil
+}
+
+// Net is an instance of the fabric bound to a sim engine.
+type Net struct {
+	Eng *sim.Engine
+	Cfg Config
+
+	nodes []*nodeRes
+	core  *sim.Resource // nil for a non-blocking fabric
+	nep   int           // endpoints created, for naming
+}
+
+type nodeRes struct {
+	egress  *sim.Resource
+	ingress *sim.Resource
+	shm     *sim.Resource
+
+	egressBytes int64 // inter-node payload accounting (Table IV)
+}
+
+// New builds a fabric on eng with the given configuration.
+func New(eng *sim.Engine, cfg Config) (*Net, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Net{Eng: eng, Cfg: cfg}
+	if cfg.CoreBandwidth > 0 {
+		n.core = sim.NewResource("fabric.core")
+	}
+	n.nodes = make([]*nodeRes, cfg.Nodes)
+	for i := range n.nodes {
+		n.nodes[i] = &nodeRes{
+			egress:  sim.NewResource(fmt.Sprintf("node%d.egress", i)),
+			ingress: sim.NewResource(fmt.Sprintf("node%d.ingress", i)),
+			shm:     sim.NewResource(fmt.Sprintf("node%d.shm", i)),
+		}
+	}
+	return n, nil
+}
+
+// Endpoint is a process's attachment to the fabric: a home node plus a
+// private CPU resource that all of the process's communication software
+// costs are charged to.
+type Endpoint struct {
+	net  *Net
+	Node int
+	// CPU carries the process's software work: staging/packing collective
+	// buffers, posting overheads, and reduction arithmetic.
+	CPU *sim.Resource
+	// NIC carries the process's transfer-progress work: per-chunk
+	// marshalling/injection and extraction. It is a separate lane so that
+	// in-flight messages keep progressing while the process computes — the
+	// property (hardware DMA / progress engine) that makes overlapping
+	// communication with communication profitable at all.
+	NIC *sim.Resource
+}
+
+// NewEndpoint attaches a process to node (0-based).
+func (n *Net) NewEndpoint(node int) *Endpoint {
+	if node < 0 || node >= n.Cfg.Nodes {
+		panic(fmt.Sprintf("simnet: node %d out of range [0,%d)", node, n.Cfg.Nodes))
+	}
+	ep := &Endpoint{
+		net:  n,
+		Node: node,
+		CPU:  sim.NewResource(fmt.Sprintf("ep%d.cpu", n.nep)),
+		NIC:  sim.NewResource(fmt.Sprintf("ep%d.nic", n.nep)),
+	}
+	n.nep++
+	return ep
+}
+
+// WireBusyTime returns the cumulative egress occupancy of a node's wire,
+// for utilization accounting in benchmarks.
+func (n *Net) WireBusyTime(node int) float64 { return n.nodes[node].egress.BusyTime() }
+
+// WireBytes returns the cumulative payload bytes a node's egress wire has
+// carried (inter-node traffic only; shared-memory traffic is not counted).
+func (n *Net) WireBytes(node int) int64 { return n.nodes[node].egressBytes }
+
+// TotalWireBytes sums WireBytes over all nodes: the machine-wide inter-node
+// communication volume, the quantity the paper's Table IV estimates.
+func (n *Net) TotalWireBytes() int64 {
+	var t int64
+	for i := range n.nodes {
+		t += n.nodes[i].egressBytes
+	}
+	return t
+}
+
+// Transfer moves size bytes from src to dst. It returns two gates:
+// injected fires when the sender's buffer is reusable (all data has left the
+// sending process), delivered fires when the last byte is available at the
+// receiving process. Zero-byte transfers still pay per-message overheads and
+// latency, which models control messages and barriers.
+//
+// The transfer runs as a pair of simulation processes — a sender half and a
+// receiver half — so that every resource reservation is made at (or within
+// one chunk of) its actual virtual start time. Reserving further ahead
+// would punch unfillable holes into the FIFO next-free-time resources and
+// serialize concurrent transfers that should interleave.
+func (n *Net) Transfer(src, dst *Endpoint, size int64) (injected, delivered *sim.Gate) {
+	return n.transfer(src, dst, size, n.Cfg.CPUCopyRate)
+}
+
+// TransferBulk is the zero-copy (rendezvous/DMA) path: the wire bears the
+// per-byte cost while the endpoints' CPUs pay only a small residual per-byte
+// rate (DMARate) plus the per-chunk overheads. The MPI layer routes
+// rendezvous payloads here; eager messages, which are copied through
+// bounce buffers, use Transfer.
+func (n *Net) TransferBulk(src, dst *Endpoint, size int64) (injected, delivered *sim.Gate) {
+	return n.transfer(src, dst, size, n.Cfg.DMARate)
+}
+
+func (n *Net) transfer(src, dst *Endpoint, size int64, cpuRate float64) (injected, delivered *sim.Gate) {
+	injected = n.Eng.NewGate()
+	delivered = n.Eng.NewGate()
+	if size < 0 {
+		panic("simnet: negative transfer size")
+	}
+	feed := &chunkFeed{sig: n.Eng.NewSignal()}
+	n.Eng.Spawn("xfer-tx", func(p *sim.Proc) {
+		n.runTransferTx(p, src, dst, size, cpuRate, feed, injected)
+	})
+	n.Eng.Spawn("xfer-rx", func(p *sim.Proc) {
+		n.runTransferRx(p, src, dst, cpuRate, feed, delivered)
+	})
+	return injected, delivered
+}
+
+// chunkFeed hands chunk availability times from the sender half to the
+// receiver half of a transfer.
+type chunkFeed struct {
+	ready []float64 // time chunk i has cleared the sender side
+	bytes []int64
+	done  bool // sender produced the last chunk
+	sig   *sim.Signal
+}
+
+func (f *chunkFeed) push(t float64, b int64, last bool) {
+	f.ready = append(f.ready, t)
+	f.bytes = append(f.bytes, b)
+	f.done = f.done || last
+	f.sig.Notify()
+}
+
+// runTransferTx drives the sender side: per-message setup, then per chunk a
+// sender-CPU stage (marshal/copy) followed by an egress-wire (or
+// shared-memory bus) occupancy. The process paces on its CPU stage, so the
+// egress reservation happens at the chunk's true start time and chunks of
+// concurrent transfers interleave on shared resources.
+func (n *Net) runTransferTx(p *sim.Proc, src, dst *Endpoint, size int64, cpuRate float64, feed *chunkFeed, injected *sim.Gate) {
+	cfg := &n.Cfg
+	intra := src.Node == dst.Node
+	_, ready := src.NIC.Reserve(p.Now(), cfg.MsgOverhead)
+
+	var lastCPU float64
+	remaining := size
+	first := true
+	for remaining > 0 || first {
+		first = false
+		chunk := remaining
+		if chunk > cfg.ChunkBytes {
+			chunk = cfg.ChunkBytes
+		}
+		remaining -= chunk
+		cb := float64(chunk)
+
+		_, cpuDone := src.NIC.Reserve(ready, cfg.SendOverhead+cb/cpuRate)
+		p.SleepUntil(cpuDone)
+		var cleared float64
+		if intra {
+			_, cleared = n.nodes[src.Node].shm.Reserve(p.Now(), cb/cfg.ShmBandwidth)
+		} else {
+			_, cleared = n.nodes[src.Node].egress.Reserve(p.Now(), cb/cfg.WireBandwidth)
+			n.nodes[src.Node].egressBytes += chunk
+		}
+		feed.push(cleared, chunk, remaining <= 0)
+		lastCPU = cpuDone
+		ready = cpuDone
+	}
+	if lastCPU > p.Now() {
+		p.SleepUntil(lastCPU)
+	}
+	injected.Fire()
+}
+
+// runTransferRx drives the receiver side: per chunk, an ingress-wire
+// occupancy starting when the chunk clears the sender's egress (plus wire
+// latency) and a receiver-CPU stage (matching/copy) reserved exactly at the
+// chunk's arrival. delivered fires when the last chunk's CPU stage ends.
+func (n *Net) runTransferRx(p *sim.Proc, src, dst *Endpoint, cpuRate float64, feed *chunkFeed, delivered *sim.Gate) {
+	cfg := &n.Cfg
+	intra := src.Node == dst.Node
+	var lastDeliver float64
+	for k := 0; ; k++ {
+		for len(feed.ready) <= k {
+			if feed.done {
+				// All chunks consumed.
+				if lastDeliver > p.Now() {
+					p.SleepUntil(lastDeliver)
+				}
+				delivered.Fire()
+				return
+			}
+			p.WaitSignal(feed.sig)
+		}
+		t, cb := feed.ready[k], float64(feed.bytes[k])
+		var arrive float64
+		if intra {
+			arrive = t + cfg.ShmLatency
+		} else {
+			if t+cfg.WireLatency > p.Now() {
+				p.SleepUntil(t + cfg.WireLatency)
+			}
+			if n.core != nil {
+				_, coreDone := n.core.Reserve(p.Now(), cb/cfg.CoreBandwidth)
+				if coreDone > p.Now() {
+					p.SleepUntil(coreDone)
+				}
+			}
+			_, inDone := n.nodes[dst.Node].ingress.Reserve(p.Now(), cb/cfg.WireBandwidth)
+			arrive = inDone
+		}
+		if arrive > p.Now() {
+			p.SleepUntil(arrive)
+		}
+		_, recvDone := dst.NIC.Reserve(p.Now(), cfg.RecvOverhead+cb/cpuRate)
+		lastDeliver = recvDone
+	}
+}
+
+// Compute charges flops of dense-matrix arithmetic to the calling process,
+// assuming ppnActive processes share the node's cores equally. The caller
+// blocks for the virtual duration.
+func (n *Net) Compute(p *sim.Proc, ep *Endpoint, flops float64, ppnActive int) {
+	if ppnActive < 1 {
+		ppnActive = 1
+	}
+	rate := n.Cfg.NodeFlops / float64(ppnActive)
+	p.Sleep(flops / rate)
+}
+
+// ChargeCPU occupies the endpoint's CPU for dur seconds starting now and
+// blocks the calling process until the reservation completes. It models
+// local software work (posting a nonblocking collective, staging buffers,
+// reduction arithmetic) that competes with the process's other
+// communication activity.
+func (n *Net) ChargeCPU(p *sim.Proc, ep *Endpoint, dur float64) {
+	_, done := ep.CPU.Reserve(p.Now(), dur)
+	p.SleepUntil(done)
+}
+
+// Utilization summarizes resource occupancy over a time window, for
+// benchmark reporting: the mean egress-wire busy fraction across nodes and
+// the peak single-node fraction. Call after the simulation has run, with
+// the window's virtual duration.
+func (n *Net) Utilization(elapsed float64) (meanWire, peakWire float64) {
+	if elapsed <= 0 {
+		return 0, 0
+	}
+	for i := range n.nodes {
+		f := n.nodes[i].egress.BusyTime() / elapsed
+		meanWire += f
+		if f > peakWire {
+			peakWire = f
+		}
+	}
+	meanWire /= float64(len(n.nodes))
+	return meanWire, peakWire
+}

@@ -1,0 +1,227 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"commoverlap/internal/mat"
+	"commoverlap/internal/mpi"
+	"commoverlap/internal/sim"
+	"commoverlap/internal/simnet"
+)
+
+func runJob(t *testing.T, ranks, nodes int, body func(p *mpi.Proc)) {
+	t.Helper()
+	eng := sim.NewEngine()
+	net, err := simnet.New(eng, simnet.DefaultConfig(nodes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := mpi.NewWorld(net, ranks, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Launch(body)
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// denseApply applies the stencil operator serially for verification.
+func denseApply(n int, stencil []float64, x []float64) []float64 {
+	hb := len(stencil) - 1
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := stencil[0] * x[i]
+		for d := 1; d <= hb; d++ {
+			if i-d >= 0 {
+				s += stencil[d] * x[i-d]
+			}
+			if i+d < n {
+				s += stencil[d] * x[i+d]
+			}
+		}
+		y[i] = s
+	}
+	return y
+}
+
+func TestNewStencilSPD(t *testing.T) {
+	for _, hb := range []int{1, 2, 4, 8} {
+		s := NewStencil(hb)
+		if len(s) != hb+1 {
+			t.Fatalf("hb=%d: len %d", hb, len(s))
+		}
+		off := 0.0
+		for d := 1; d <= hb; d++ {
+			off += 2 * math.Abs(s[d])
+		}
+		if s[0] <= off {
+			t.Errorf("hb=%d: not diagonally dominant: diag %g vs %g", hb, s[0], off)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	runJob(t, 2, 2, func(p *mpi.Proc) {
+		if _, err := New(p, p.World(), 0, NewStencil(1), true, 1); err == nil {
+			t.Error("N=0 accepted")
+		}
+		if _, err := New(p, p.World(), 100, nil, true, 1); err == nil {
+			t.Error("empty stencil accepted")
+		}
+		if _, err := New(p, p.World(), 4, NewStencil(3), true, 1); err == nil {
+			t.Error("bandwidth > block accepted")
+		}
+	})
+}
+
+// solveBoth solves the same random system with both variants on p ranks.
+func solveBoth(t *testing.T, ranks, n, hb int) (std, pip Result, xs, xp []float64) {
+	t.Helper()
+	stencil := NewStencil(hb)
+	rng := rand.New(rand.NewSource(int64(n + hb)))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	bd := mat.BlockDim{N: n, P: ranks}
+	xs = make([]float64, n)
+	xp = make([]float64, n)
+	for variant := 0; variant < 2; variant++ {
+		variant := variant
+		runJob(t, ranks, min(ranks, 4), func(p *mpi.Proc) {
+			cg, err := New(p, p.World(), n, stencil, true, 1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			lo, cnt := bd.Offset(p.Rank()), bd.Count(p.Rank())
+			bloc := make([]float64, cnt)
+			copy(bloc, b[lo:lo+cnt])
+			xloc := make([]float64, cnt)
+			var r Result
+			if variant == 0 {
+				r = cg.SolveStandard(bloc, xloc, 1e-10, 500)
+				std = r
+				copy(xs[lo:lo+cnt], xloc)
+			} else {
+				r = cg.SolvePipelined(bloc, xloc, 1e-10, 500)
+				pip = r
+				copy(xp[lo:lo+cnt], xloc)
+			}
+		})
+	}
+	return std, pip, xs, xp
+}
+
+func TestBothVariantsConverge(t *testing.T) {
+	for _, tc := range []struct{ ranks, n, hb int }{
+		{1, 50, 1}, {2, 64, 2}, {4, 100, 3}, {4, 101, 1}, {8, 160, 2},
+	} {
+		std, pip, xs, xp := solveBoth(t, tc.ranks, tc.n, tc.hb)
+		if !std.Converged {
+			t.Fatalf("%+v: standard did not converge (relres %g)", tc, std.RelRes)
+		}
+		if !pip.Converged {
+			t.Fatalf("%+v: pipelined did not converge (relres %g)", tc, pip.RelRes)
+		}
+		if std.RelRes > 1e-8 || pip.RelRes > 1e-8 {
+			t.Errorf("%+v: residuals %g / %g", tc, std.RelRes, pip.RelRes)
+		}
+		// The two solutions agree.
+		for i := range xs {
+			if math.Abs(xs[i]-xp[i]) > 1e-6 {
+				t.Errorf("%+v: solutions differ at %d: %g vs %g", tc, i, xs[i], xp[i])
+				break
+			}
+		}
+		// Pipelined CG is mathematically equivalent; iteration counts match
+		// within rounding slack.
+		if d := pip.Iters - std.Iters; d < -3 || d > 3 {
+			t.Errorf("%+v: iteration counts diverge: std %d pip %d", tc, std.Iters, pip.Iters)
+		}
+	}
+}
+
+func TestSolutionSolvesSystem(t *testing.T) {
+	const n, hb = 80, 2
+	std, _, xs, _ := solveBoth(t, 4, n, hb)
+	if !std.Converged {
+		t.Fatal("no convergence")
+	}
+	stencil := NewStencil(hb)
+	rng := rand.New(rand.NewSource(int64(n + hb)))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	ax := denseApply(n, stencil, xs)
+	worst := 0.0
+	for i := range ax {
+		worst = math.Max(worst, math.Abs(ax[i]-b[i]))
+	}
+	if worst > 1e-7 {
+		t.Errorf("A x differs from b by %g", worst)
+	}
+}
+
+// In the latency-bound regime (many ranks, reductions comparable to the
+// matvec) the pipelined variant must not be slower, and should win.
+func TestPipelinedFasterWhenLatencyBound(t *testing.T) {
+	const (
+		ranks = 32
+		n     = 32 * 200000 // big enough that matvec time ~ reduction time
+		iters = 10
+	)
+	var tStd, tPip float64
+	for variant := 0; variant < 2; variant++ {
+		variant := variant
+		runJob(t, ranks, 32, func(p *mpi.Proc) {
+			cg, err := New(p, p.World(), n, NewStencil(8), false, 1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			p.World().Barrier()
+			var r Result
+			if variant == 0 {
+				r = cg.SolveStandard(nil, nil, 0, iters)
+			} else {
+				r = cg.SolvePipelined(nil, nil, 0, iters)
+			}
+			if p.Rank() == 0 {
+				if variant == 0 {
+					tStd = r.Time
+				} else {
+					tPip = r.Time
+				}
+			}
+		})
+	}
+	if tStd <= 0 || tPip <= 0 {
+		t.Fatalf("no time measured: %g %g", tStd, tPip)
+	}
+	if tPip > tStd*1.05 {
+		t.Errorf("pipelined (%g) slower than standard (%g)", tPip, tStd)
+	}
+}
+
+func TestPhantomRunsFixedIterations(t *testing.T) {
+	runJob(t, 4, 4, func(p *mpi.Proc) {
+		cg, err := New(p, p.World(), 40000, NewStencil(2), false, 1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		r := cg.SolveStandard(nil, nil, 0, 7)
+		if r.Iters != 7 {
+			t.Errorf("standard phantom ran %d iters", r.Iters)
+		}
+		r = cg.SolvePipelined(nil, nil, 0, 7)
+		if r.Iters != 7 {
+			t.Errorf("pipelined phantom ran %d iters", r.Iters)
+		}
+	})
+}

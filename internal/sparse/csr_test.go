@@ -1,0 +1,205 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"commoverlap/internal/mat"
+)
+
+func randSparse(rows, cols int, density float64, rng *rand.Rand) *CSR {
+	d := mat.New(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				d.Set(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return FromDense(d, 0)
+}
+
+func TestFromToDenseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := mat.Rand(7, 9, rng)
+	s := FromDense(d, 0)
+	if diff := s.MaxAbsDiff(d); diff != 0 {
+		t.Errorf("round trip diff %g", diff)
+	}
+	if s.NNZ() != 63 {
+		t.Errorf("nnz %d", s.NNZ())
+	}
+	// With a threshold, small entries vanish.
+	s2 := FromDense(d, 0.5)
+	for _, v := range s2.Val {
+		if math.Abs(v) <= 0.5 {
+			t.Errorf("entry %g below threshold survived", v)
+		}
+	}
+}
+
+func TestSpGEMMAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, tc := range []struct {
+		m, k, n int
+		density float64
+	}{
+		{1, 1, 1, 1}, {5, 7, 3, 0.5}, {20, 20, 20, 0.2}, {30, 10, 25, 0.1}, {8, 8, 8, 0},
+	} {
+		a := randSparse(tc.m, tc.k, tc.density, rng)
+		b := randSparse(tc.k, tc.n, tc.density, rng)
+		got := SpGEMM(a, b)
+		want := mat.New(tc.m, tc.n)
+		mat.Gemm(1, a.ToDense(), b.ToDense(), 0, want)
+		if diff := got.MaxAbsDiff(want); diff > 1e-12*float64(tc.k) {
+			t.Errorf("%+v: diff %g", tc, diff)
+		}
+		// Column indices are sorted within each row.
+		for i := 0; i < got.Rows; i++ {
+			for k := got.RowPtr[i] + 1; k < got.RowPtr[i+1]; k++ {
+				if got.ColIdx[k] <= got.ColIdx[k-1] {
+					t.Fatalf("row %d columns unsorted", i)
+				}
+			}
+		}
+	}
+}
+
+func TestSpGEMMFlopsPositive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randSparse(10, 10, 0.3, rng)
+	if f := SpGEMMFlops(a, a); f <= 0 {
+		t.Errorf("flops %g", f)
+	}
+}
+
+func TestAddAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randSparse(12, 15, 0.3, rng)
+	b := randSparse(12, 15, 0.3, rng)
+	got := Add(a, -2.5, b)
+	want := a.ToDense()
+	want.Add(-2.5, b.ToDense())
+	if diff := got.MaxAbsDiff(want); diff > 1e-13 {
+		t.Errorf("diff %g", diff)
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randSparse(20, 20, 0.5, rng)
+	before := a.NNZ()
+	a.Threshold(0.8)
+	if a.NNZ() >= before {
+		t.Errorf("threshold dropped nothing: %d -> %d", before, a.NNZ())
+	}
+	for _, v := range a.Val {
+		if math.Abs(v) <= 0.8 {
+			t.Errorf("entry %g survived threshold", v)
+		}
+	}
+	// Row pointers stay consistent.
+	if a.RowPtr[len(a.RowPtr)-1] != a.NNZ() {
+		t.Error("row pointers inconsistent after threshold")
+	}
+}
+
+func TestTraceAndIdentity(t *testing.T) {
+	h := BandedHamiltonian(10, 2, 4)
+	d := h.ToDense()
+	if math.Abs(h.Trace()-d.Trace()) > 1e-13 {
+		t.Errorf("trace %g vs dense %g", h.Trace(), d.Trace())
+	}
+	shifted := h.AddIdentity(2.5, 0)
+	want := d.Clone()
+	want.AddIdentity(2.5)
+	if diff := shifted.MaxAbsDiff(want); diff > 1e-13 {
+		t.Errorf("AddIdentity diff %g", diff)
+	}
+	// Off-square block: diagonal enters at column 3.
+	blk := NewEmpty(4, 8)
+	out := blk.AddIdentity(1, 3)
+	dd := out.ToDense()
+	for i := 0; i < 4; i++ {
+		if dd.At(i, i+3) != 1 {
+			t.Errorf("offset identity wrong at row %d", i)
+		}
+	}
+}
+
+func TestBandedHamiltonianSymmetric(t *testing.T) {
+	h := BandedHamiltonian(30, 4, 4)
+	if !h.ToDense().IsSymmetric(1e-14) {
+		t.Error("sparse Hamiltonian not symmetric")
+	}
+	// Bandwidth respected.
+	for i := 0; i < h.Rows; i++ {
+		for k := h.RowPtr[i]; k < h.RowPtr[i+1]; k++ {
+			if d := h.ColIdx[k] - i; d > 4 || d < -4 {
+				t.Fatalf("entry outside band: (%d,%d)", i, h.ColIdx[k])
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, density := range []float64{0, 0.1, 0.9} {
+		a := randSparse(11, 7, density, rng)
+		buf := a.Encode()
+		if len(buf) != a.EncodedLen() {
+			t.Fatalf("encoded len %d want %d", len(buf), a.EncodedLen())
+		}
+		b, err := Decode(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := b.MaxAbsDiff(a.ToDense()); diff != 0 {
+			t.Errorf("roundtrip diff %g", diff)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]float64{1}); err == nil {
+		t.Error("short header accepted")
+	}
+	if _, err := Decode([]float64{2, 2, 100}); err == nil {
+		t.Error("truncated body accepted")
+	}
+	if _, err := Decode([]float64{-1, 2, 0}); err == nil {
+		t.Error("negative dims accepted")
+	}
+}
+
+// Property: (A*B)ᵀ dense equality for random sparsity patterns.
+func TestSpGEMMProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(15) + 1
+		a := randSparse(n, n, rng.Float64()*0.5, rng)
+		b := randSparse(n, n, rng.Float64()*0.5, rng)
+		got := SpGEMM(a, b)
+		want := mat.New(n, n)
+		mat.Gemm(1, a.ToDense(), b.ToDense(), 0, want)
+		return got.MaxAbsDiff(want) < 1e-10*float64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Encode/Decode is the identity for random matrices.
+func TestWireProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randSparse(rng.Intn(12)+1, rng.Intn(12)+1, rng.Float64(), rng)
+		b, err := Decode(a.Encode())
+		return err == nil && b.MaxAbsDiff(a.ToDense()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,64 @@
+package sparse
+
+import "fmt"
+
+// Serialization: sparse blocks travel through the simulated MPI library's
+// float64 buffers. The encoding is self-describing —
+//
+//	[ rows, cols, nnz, rowptr[0..rows], colidx[0..nnz), val[0..nnz) ]
+//
+// with indices stored as float64 (exact below 2^53). EncodedLen lets a
+// receiver size its buffer after a small header exchange.
+
+// EncodedLen returns the number of float64 words Encode will produce.
+func (m *CSR) EncodedLen() int {
+	return 3 + len(m.RowPtr) + 2*m.NNZ()
+}
+
+// Encode serializes the matrix into a fresh float64 slice.
+func (m *CSR) Encode() []float64 {
+	out := make([]float64, 0, m.EncodedLen())
+	out = append(out, float64(m.Rows), float64(m.Cols), float64(m.NNZ()))
+	for _, p := range m.RowPtr {
+		out = append(out, float64(p))
+	}
+	for _, c := range m.ColIdx {
+		out = append(out, float64(c))
+	}
+	out = append(out, m.Val...)
+	return out
+}
+
+// Decode reconstructs a CSR from Encode's output.
+func Decode(buf []float64) (*CSR, error) {
+	if len(buf) < 3 {
+		return nil, fmt.Errorf("sparse: truncated header (%d words)", len(buf))
+	}
+	rows, cols, nnz := int(buf[0]), int(buf[1]), int(buf[2])
+	if rows < 0 || cols < 0 || nnz < 0 {
+		return nil, fmt.Errorf("sparse: corrupt header %v", buf[:3])
+	}
+	want := 3 + rows + 1 + 2*nnz
+	if len(buf) < want {
+		return nil, fmt.Errorf("sparse: buffer has %d words, need %d", len(buf), want)
+	}
+	m := &CSR{Rows: rows, Cols: cols,
+		RowPtr: make([]int, rows+1),
+		ColIdx: make([]int, nnz),
+		Val:    make([]float64, nnz),
+	}
+	off := 3
+	for i := range m.RowPtr {
+		m.RowPtr[i] = int(buf[off+i])
+	}
+	off += rows + 1
+	for i := range m.ColIdx {
+		m.ColIdx[i] = int(buf[off+i])
+	}
+	off += nnz
+	copy(m.Val, buf[off:off+nnz])
+	if m.RowPtr[0] != 0 || m.RowPtr[rows] != nnz {
+		return nil, fmt.Errorf("sparse: corrupt row pointers")
+	}
+	return m, nil
+}

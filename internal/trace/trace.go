@@ -1,0 +1,140 @@
+// Package trace collects virtual-time event records from simulation runs
+// and renders them as text timelines (the form of the paper's Fig. 6).
+// It is deliberately tiny: an append-only recorder safe for the simulator's
+// cooperative concurrency, span bookkeeping, and a Gantt-style renderer.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Event is one point or span on a rank's timeline.
+type Event struct {
+	Rank  int
+	Label string
+	Start float64 // seconds of virtual time
+	End   float64 // == Start for point events
+}
+
+// Recorder accumulates events. The zero value is ready to use. The
+// simulator runs exactly one process at a time, so no locking is needed;
+// the Recorder is not safe for real concurrent use outside the simulator.
+type Recorder struct {
+	events []Event
+	open   map[spanKey]float64
+}
+
+type spanKey struct {
+	rank  int
+	label string
+}
+
+// Point records an instantaneous event.
+func (r *Recorder) Point(rank int, label string, t float64) {
+	r.events = append(r.events, Event{Rank: rank, Label: label, Start: t, End: t})
+}
+
+// Begin opens a span; End closes it. Unbalanced Begin/End pairs panic,
+// which surfaces instrumentation bugs immediately.
+func (r *Recorder) Begin(rank int, label string, t float64) {
+	if r.open == nil {
+		r.open = make(map[spanKey]float64)
+	}
+	k := spanKey{rank, label}
+	if _, dup := r.open[k]; dup {
+		panic(fmt.Sprintf("trace: span %q already open on rank %d", label, rank))
+	}
+	r.open[k] = t
+}
+
+// End closes the span opened by Begin.
+func (r *Recorder) End(rank int, label string, t float64) {
+	k := spanKey{rank, label}
+	start, ok := r.open[k]
+	if !ok {
+		panic(fmt.Sprintf("trace: span %q not open on rank %d", label, rank))
+	}
+	delete(r.open, k)
+	r.events = append(r.events, Event{Rank: rank, Label: label, Start: start, End: t})
+}
+
+// Events returns the recorded events sorted by (start, rank, label).
+func (r *Recorder) Events() []Event {
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// Len reports the number of closed events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Render draws the events as a text Gantt chart, one row per (rank, label)
+// span, scaled to width columns between the earliest start and latest end.
+// Point events render as a single '|'.
+func (r *Recorder) Render(w io.Writer, width int) {
+	evs := r.Events()
+	if len(evs) == 0 {
+		fmt.Fprintln(w, "(no events)")
+		return
+	}
+	if width < 10 {
+		width = 10
+	}
+	lo, hi := evs[0].Start, evs[0].End
+	for _, e := range evs {
+		if e.Start < lo {
+			lo = e.Start
+		}
+		if e.End > hi {
+			hi = e.End
+		}
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	col := func(t float64) int {
+		c := int(float64(width-1) * (t - lo) / span)
+		if c < 0 {
+			c = 0
+		}
+		if c > width-1 {
+			c = width - 1
+		}
+		return c
+	}
+	for _, e := range evs {
+		bar := make([]byte, width)
+		for i := range bar {
+			bar[i] = ' '
+		}
+		a, b := col(e.Start), col(e.End)
+		if a == b {
+			bar[a] = '|'
+		} else {
+			for i := a; i <= b; i++ {
+				bar[i] = '='
+			}
+			bar[a], bar[b] = '[', ']'
+		}
+		label := fmt.Sprintf("r%d %s", e.Rank, e.Label)
+		if len(label) > 24 {
+			label = label[:24]
+		}
+		fmt.Fprintf(w, "%-24s %s %8.1fus\n", label, string(bar), (e.End-e.Start)*1e6)
+	}
+	fmt.Fprintf(w, "%-24s %s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(w, "%-24s %.1fus total\n", "", span*1e6)
+}

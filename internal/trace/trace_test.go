@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPointAndSpan(t *testing.T) {
+	var r Recorder
+	r.Point(0, "post", 1.0)
+	r.Begin(1, "xfer", 0.5)
+	r.End(1, "xfer", 2.5)
+	evs := r.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	if evs[0].Rank != 1 || evs[0].Start != 0.5 || evs[0].End != 2.5 {
+		t.Errorf("span wrong: %+v", evs[0])
+	}
+	if evs[1].Label != "post" || evs[1].Start != evs[1].End {
+		t.Errorf("point wrong: %+v", evs[1])
+	}
+}
+
+func TestEventsSorted(t *testing.T) {
+	var r Recorder
+	r.Point(2, "b", 3)
+	r.Point(1, "a", 1)
+	r.Point(1, "z", 3)
+	evs := r.Events()
+	if evs[0].Start != 1 || evs[1].Rank != 1 || evs[2].Rank != 2 {
+		t.Errorf("not sorted: %+v", evs)
+	}
+}
+
+func TestUnbalancedSpansPanic(t *testing.T) {
+	var r Recorder
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("End without Begin did not panic")
+			}
+		}()
+		r.End(0, "x", 1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double Begin did not panic")
+			}
+		}()
+		r.Begin(0, "y", 1)
+		r.Begin(0, "y", 2)
+	}()
+}
+
+func TestRender(t *testing.T) {
+	var r Recorder
+	r.Begin(0, "reduce", 0)
+	r.End(0, "reduce", 100e-6)
+	r.Begin(1, "bcast", 50e-6)
+	r.End(1, "bcast", 150e-6)
+	r.Point(0, "post", 10e-6)
+	var sb strings.Builder
+	r.Render(&sb, 40)
+	out := sb.String()
+	for _, want := range []string{"r0 reduce", "r1 bcast", "r0 post", "[", "]", "|", "total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	var r Recorder
+	var sb strings.Builder
+	r.Render(&sb, 40)
+	if !strings.Contains(sb.String(), "no events") {
+		t.Error("empty render wrong")
+	}
+}
