@@ -1,0 +1,157 @@
+// Package check is a schedule-exploration model checker for the simulation
+// stack. The discrete-event engine is deterministic, which makes tests
+// reproducible but also means every test exercises exactly one of the many
+// legal event schedules: whenever several events are pending at the same
+// virtual instant, any dispatch order is a correct execution. This package
+// drives whole simulated MPI jobs through many such schedules — seeded
+// random and adversarial tie-break policies on the engine's event heap —
+// and checks a library of invariants that must hold on every one of them:
+//
+//   - clock-monotone: virtual time never decreases across dispatched events.
+//   - resource-fifo: every resource reservation starts no earlier than its
+//     ready time and no earlier than the previous reservation's completion
+//     (FIFO non-overlap).
+//   - msg-admission: per (comm, src, dst), message envelopes are admitted in
+//     send order, with contiguous sequence numbers from zero.
+//   - non-overtaking: per (comm, src, dst, tag), receives match in send
+//     order (MPI's non-overtaking rule).
+//   - oracle: collective and kernel results equal a serial oracle
+//     (scenarios assert this through their fail callback).
+//   - deadlock: the engine finishes without stuck processes.
+//   - teardown: the world tears down clean — no pending requests, unmatched
+//     receives, undelivered messages, held envelopes, never-woken parked
+//     ranks, or live simulation processes (mpi.World.CheckClean).
+//
+// A failing run is reported with its (scenario, policy, seed) triple, which
+// replays the identical schedule via `go test ./internal/check -run
+// TestSchedules -scenario=NAME -policy=POLICY -seed=SEED` or the
+// cmd/simcheck CLI.
+package check
+
+import (
+	"fmt"
+
+	"commoverlap/internal/mpi"
+	"commoverlap/internal/sim"
+	"commoverlap/internal/simnet"
+	"commoverlap/internal/trace"
+)
+
+// Violation is one invariant breach observed during a run.
+type Violation struct {
+	Invariant string // which invariant failed (see package doc)
+	Detail    string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
+
+// Failf records a scenario-level assertion failure (an oracle mismatch).
+type Failf func(format string, args ...any)
+
+// Scenario is one self-contained simulated MPI job the checker can run
+// under many schedules. Body runs on every rank; it must be deterministic
+// given the schedule and call fail instead of panicking on assertion
+// failures.
+type Scenario struct {
+	Name      string
+	Ranks     int
+	Nodes     int
+	Placement []int // optional rank -> node map; nil = round robin
+	Body      func(p *mpi.Proc, fail Failf)
+}
+
+// Options tunes one checker run.
+type Options struct {
+	// Tie is the tie-break policy installed on the engine; nil keeps the
+	// engine's default deterministic FIFO dispatch.
+	Tie sim.TieBreak
+	// Mutate, when non-nil, is applied to the world before launch. It
+	// exists for fault injection in the checker's self-tests (e.g. setting
+	// mpi.World.UnsafeNoMsgOrder) and must stay nil in normal exploration.
+	Mutate func(w *mpi.World)
+}
+
+// Report is the outcome of running one scenario under one schedule.
+type Report struct {
+	Violations []Violation
+	// Events, Messages and FinalTime fingerprint the schedule: two runs
+	// with the same (scenario, policy, seed) must produce identical values.
+	Events    int     // engine events dispatched
+	Messages  int     // message-protocol records traced
+	FinalTime float64 // virtual clock when the job finished
+}
+
+// Failed reports whether any invariant was violated.
+func (r Report) Failed() bool { return len(r.Violations) > 0 }
+
+// collector accumulates violations. All writers run either in the caller's
+// goroutine or in simulation processes, which the engine serializes, so no
+// lock is needed.
+type collector struct {
+	violations []Violation
+}
+
+func (c *collector) addf(invariant, format string, args ...any) {
+	c.violations = append(c.violations, Violation{invariant, fmt.Sprintf(format, args...)})
+}
+
+// RunScenario executes sc once under the given options with every invariant
+// armed and returns the report.
+func RunScenario(sc Scenario, opts Options) Report {
+	col := &collector{}
+
+	eng := sim.NewEngine()
+	if opts.Tie != nil {
+		eng.SetTieBreak(opts.Tie)
+	}
+	events := watchClock(eng, col)
+
+	net, err := simnet.New(eng, simnet.DefaultConfig(sc.Nodes))
+	if err != nil {
+		col.addf("setup", "simnet: %v", err)
+		return Report{Violations: col.violations}
+	}
+	w, err := mpi.NewWorld(net, sc.Ranks, sc.Placement)
+	if err != nil {
+		col.addf("setup", "world: %v", err)
+		return Report{Violations: col.violations}
+	}
+	// Any runaway poll spin should trip fast enough to diagnose.
+	w.MaxPollTime = 60
+	if opts.Mutate != nil {
+		opts.Mutate(w)
+	}
+	watchResources(w, col)
+	var log trace.MsgLog
+	w.Probe = log.Add
+
+	fail := func(format string, args ...any) { col.addf("oracle", format, args...) }
+	w.Launch(func(p *mpi.Proc) {
+		// A panic in a rank body runs on the rank's own goroutine; recover
+		// here so it becomes a violation instead of killing the process.
+		// The rank then exits early, so peers typically deadlock — the
+		// engine reports that separately.
+		defer func() {
+			if r := recover(); r != nil {
+				col.addf("panic", "rank %d: %v", p.Rank(), r)
+			}
+		}()
+		sc.Body(p, fail)
+	})
+
+	if err := eng.Run(); err != nil {
+		col.addf("deadlock", "%v", err)
+	}
+	if err := w.CheckClean(); err != nil {
+		col.addf("teardown", "%v", err)
+	}
+	checkMessageOrder(&log, col)
+
+	return Report{
+		Violations: col.violations,
+		Events:     *events,
+		Messages:   log.Len(),
+		FinalTime:  eng.Now(),
+	}
+}

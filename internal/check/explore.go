@@ -1,0 +1,109 @@
+package check
+
+import (
+	"fmt"
+
+	"commoverlap/internal/sim"
+)
+
+// Policy is a named family of tie-break policies. Seeded reports whether
+// the seed changes the schedule (only the random policy); for unseeded
+// policies the explorer runs each scenario once instead of once per seed.
+type Policy struct {
+	Name   string
+	Seeded bool
+	New    func(seed int64) sim.TieBreak
+}
+
+// Policies returns the explorer's schedule families:
+//
+//	fifo    the engine's default deterministic order (nil tie-break),
+//	lifo    adversarial — always runs the most recently scheduled tied
+//	        event first, the inverse of what the code was written under,
+//	random  seeded uniform choice among tied events, replayable from the
+//	        seed.
+func Policies() []Policy {
+	return []Policy{
+		{Name: "fifo", New: func(int64) sim.TieBreak { return nil }},
+		{Name: "lifo", New: func(int64) sim.TieBreak { return sim.LIFO() }},
+		{Name: "random", Seeded: true, New: func(seed int64) sim.TieBreak { return sim.Seeded(seed) }},
+	}
+}
+
+// FindPolicy returns the named policy.
+func FindPolicy(name string) (Policy, bool) {
+	for _, p := range Policies() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Policy{}, false
+}
+
+// Result is the outcome of one (scenario, policy, seed) run.
+type Result struct {
+	Scenario string
+	Policy   string
+	Seed     int64 // meaningful only for seeded policies
+	Report
+}
+
+// Schedule describes the run's schedule as a human-readable triple.
+func (r Result) Schedule() string {
+	if p, ok := FindPolicy(r.Policy); ok && p.Seeded {
+		return fmt.Sprintf("%s/%s/seed=%d", r.Scenario, r.Policy, r.Seed)
+	}
+	return fmt.Sprintf("%s/%s", r.Scenario, r.Policy)
+}
+
+// Repro returns shell commands that replay exactly this schedule.
+func (r Result) Repro() []string {
+	return []string{
+		fmt.Sprintf("go test ./internal/check -run 'TestSchedules$' -scenario=%s -policy=%s -seed=%d -schedules=1",
+			r.Scenario, r.Policy, r.Seed),
+		fmt.Sprintf("go run ./cmd/simcheck -scenario %s -policy %s -seed %d -n 1",
+			r.Scenario, r.Policy, r.Seed),
+	}
+}
+
+// Summary aggregates an exploration.
+type Summary struct {
+	Runs      int // total scenario executions
+	Schedules int // distinct seeded (random-policy) schedules among them
+	Failures  []Result
+}
+
+// Explore runs every scenario under every policy — unseeded policies once,
+// the seeded policy once per seed in [baseSeed, baseSeed+nSeeds) — and
+// reports each run to report (if non-nil) as it completes. It returns the
+// aggregate summary; exploration continues past failures so one bad
+// schedule does not mask another.
+func Explore(scens []Scenario, policies []Policy, nSeeds int, baseSeed int64, report func(Result)) Summary {
+	var sum Summary
+	run := func(sc Scenario, pol Policy, seed int64) {
+		res := Result{Scenario: sc.Name, Policy: pol.Name, Seed: seed}
+		res.Report = RunScenario(sc, Options{Tie: pol.New(seed)})
+		sum.Runs++
+		if pol.Seeded {
+			sum.Schedules++
+		}
+		if res.Failed() {
+			sum.Failures = append(sum.Failures, res)
+		}
+		if report != nil {
+			report(res)
+		}
+	}
+	for _, sc := range scens {
+		for _, pol := range policies {
+			if !pol.Seeded {
+				run(sc, pol, baseSeed)
+				continue
+			}
+			for i := 0; i < nSeeds; i++ {
+				run(sc, pol, baseSeed+int64(i))
+			}
+		}
+	}
+	return sum
+}

@@ -1,0 +1,86 @@
+package check
+
+import (
+	"commoverlap/internal/mpi"
+	"commoverlap/internal/sim"
+	"commoverlap/internal/trace"
+)
+
+// watchClock installs an event hook asserting virtual-clock monotonicity
+// and returns a pointer to the dispatched-event counter (part of the
+// schedule fingerprint).
+func watchClock(eng *sim.Engine, col *collector) *int {
+	events := new(int)
+	last := -1.0
+	eng.SetEventHook(func(t float64, p *sim.Proc) {
+		*events++
+		if t < last {
+			col.addf("clock-monotone", "event for %s at t=%g after t=%g", p.Name, t, last)
+		}
+		last = t
+	})
+	return events
+}
+
+// watchResources arms the FIFO non-overlap audit on every resource the job
+// touches: a reservation may never start before its ready time, never end
+// before it starts, and never start before the previous reservation on the
+// same resource has completed.
+func watchResources(w *mpi.World, col *collector) {
+	w.EachResource(func(r *sim.Resource) {
+		name := r.Name
+		prevDone := 0.0
+		r.Audit = func(ready, start, done float64) {
+			switch {
+			case start < ready:
+				col.addf("resource-fifo", "%s: reservation started at %g before ready %g", name, start, ready)
+			case done < start:
+				col.addf("resource-fifo", "%s: reservation ended at %g before start %g", name, done, start)
+			case start < prevDone:
+				col.addf("resource-fifo", "%s: reservation at %g overlaps previous ending %g", name, start, prevDone)
+			}
+			prevDone = done
+		}
+	})
+}
+
+// pairID names one directed (comm, src, dst) message stream; flowID narrows
+// it to one tag, the granularity at which MPI forbids overtaking.
+type pairID struct{ ctx, src, dst int }
+
+type flowID struct {
+	pairID
+	tag int
+}
+
+// checkMessageOrder analyzes the completed run's message-protocol trace:
+//
+//   - msg-admission: per (ctx, src, dst) the receiver admitted envelopes
+//     with contiguous sequence numbers starting at zero — i.e. exactly in
+//     send order, none skipped, none duplicated.
+//   - non-overtaking: per (ctx, src, dst, tag) receives matched in send
+//     order (strictly increasing sequence numbers).
+func checkMessageOrder(log *trace.MsgLog, col *collector) {
+	nextAdmit := map[pairID]int64{}
+	lastMatch := map[flowID]int64{}
+	for _, e := range log.Events() {
+		switch e.Kind {
+		case trace.MsgAdmit:
+			p := pairID{e.Ctx, e.Src, e.Dst}
+			if want := nextAdmit[p]; e.Seq != want {
+				col.addf("msg-admission",
+					"ctx %d %d->%d: admitted seq %d, want %d (envelopes admitted out of send order)",
+					e.Ctx, e.Src, e.Dst, e.Seq, want)
+			}
+			nextAdmit[p] = e.Seq + 1
+		case trace.MsgMatch:
+			f := flowID{pairID{e.Ctx, e.Src, e.Dst}, e.Tag}
+			if prev, ok := lastMatch[f]; ok && e.Seq <= prev {
+				col.addf("non-overtaking",
+					"ctx %d %d->%d tag %d: matched seq %d after seq %d (message overtook an earlier send)",
+					e.Ctx, e.Src, e.Dst, e.Tag, e.Seq, prev)
+			}
+			lastMatch[f] = e.Seq
+		}
+	}
+}

@@ -38,6 +38,7 @@ const postOverhead = 3e-6
 var collDebug = false
 
 func (c *Comm) nextCollTag() int {
+	c.checkUsable()
 	t := collTagBase + c.collSeq*collTagStride
 	c.collSeq++
 	if c.Size() >= collTagStride/2 {

@@ -1,0 +1,173 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+)
+
+// Zero-length blocks are legal in the v-variants (MPI allows zero counts);
+// they must move no data but still participate in the schedule.
+
+func TestGathervZeroCounts(t *testing.T) {
+	const p = 4
+	counts := []int{0, 3, 0, 5}
+	runJob(t, p, 2, func(pr *Proc) {
+		send := F64(vBlock(pr.Rank(), counts[pr.Rank()]))
+		var recv []Buffer
+		if pr.Rank() == 0 {
+			recv = make([]Buffer, p)
+			for i := range recv {
+				recv[i] = F64(make([]float64, counts[i]))
+			}
+		}
+		pr.World().Gatherv(0, send, counts, recv)
+		if pr.Rank() == 0 {
+			for i := 0; i < p; i++ {
+				want := vBlock(i, counts[i])
+				for j, v := range recv[i].Data {
+					if v != want[j] {
+						t.Errorf("block %d elem %d = %g, want %g", i, j, v, want[j])
+					}
+				}
+			}
+		}
+	})
+}
+
+func TestGathervAllZeroCounts(t *testing.T) {
+	// Every block empty: the collective degenerates to control messages
+	// and must still complete.
+	const p = 3
+	counts := []int{0, 0, 0}
+	runJob(t, p, 2, func(pr *Proc) {
+		var recv []Buffer
+		if pr.Rank() == 2 {
+			recv = []Buffer{F64(nil), F64(nil), F64(nil)}
+		}
+		pr.World().Gatherv(2, F64(nil), counts, recv)
+	})
+}
+
+func TestScattervZeroCounts(t *testing.T) {
+	const p = 4
+	counts := []int{2, 0, 4, 0}
+	runJob(t, p, 2, func(pr *Proc) {
+		var send []Buffer
+		if pr.Rank() == 0 {
+			send = make([]Buffer, p)
+			for i := range send {
+				send[i] = F64(vBlock(i, counts[i]))
+			}
+		}
+		recv := F64(make([]float64, counts[pr.Rank()]))
+		pr.World().Scatterv(0, send, counts, recv)
+		want := vBlock(pr.Rank(), counts[pr.Rank()])
+		for j, v := range recv.Data {
+			if v != want[j] {
+				t.Errorf("rank %d elem %d = %g, want %g", pr.Rank(), j, v, want[j])
+			}
+		}
+	})
+}
+
+func TestAllgathervZeroCounts(t *testing.T) {
+	const p = 4
+	counts := []int{0, 1, 0, 2}
+	runJob(t, p, 2, func(pr *Proc) {
+		send := F64(vBlock(pr.Rank(), counts[pr.Rank()]))
+		recv := make([]Buffer, p)
+		for i := range recv {
+			recv[i] = F64(make([]float64, counts[i]))
+		}
+		pr.World().Allgatherv(send, counts, recv)
+		for i := 0; i < p; i++ {
+			want := vBlock(i, counts[i])
+			for j, v := range recv[i].Data {
+				if v != want[j] {
+					t.Errorf("rank %d block %d elem %d = %g, want %g", pr.Rank(), i, j, v, want[j])
+				}
+			}
+		}
+	})
+}
+
+func TestAllgathervSingleRank(t *testing.T) {
+	runJob(t, 1, 1, func(pr *Proc) {
+		counts := []int{4}
+		recv := []Buffer{F64(make([]float64, 4))}
+		pr.World().Allgatherv(F64(vBlock(0, 4)), counts, recv)
+		want := vBlock(0, 4)
+		for j, v := range recv[0].Data {
+			if v != want[j] {
+				t.Errorf("elem %d = %g, want %g", j, v, want[j])
+			}
+		}
+	})
+}
+
+func TestIgathervZeroCountsCompletes(t *testing.T) {
+	const p = 3
+	counts := []int{0, 2, 0}
+	runJob(t, p, 2, func(pr *Proc) {
+		send := F64(vBlock(pr.Rank(), counts[pr.Rank()]))
+		var recv []Buffer
+		if pr.Rank() == 0 {
+			recv = make([]Buffer, p)
+			for i := range recv {
+				recv[i] = F64(make([]float64, counts[i]))
+			}
+		}
+		req := pr.World().Igatherv(0, send, counts, recv)
+		req.Wait()
+		if !req.Test() {
+			t.Error("completed Igatherv request does not test true")
+		}
+	})
+}
+
+// TestVCollectiveOnFreedCommPanics covers the use-after-free error path of
+// the v-variants (they all allocate their tag through the same checked
+// gate).
+func TestVCollectiveOnFreedCommPanics(t *testing.T) {
+	runJob(t, 2, 1, func(pr *Proc) {
+		dup := pr.World().Dup()
+		dup.Barrier()
+		dup.Free()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Errorf("rank %d: Gatherv on freed communicator did not panic", pr.Rank())
+				return
+			}
+			if !strings.Contains(r.(string), "freed communicator") {
+				t.Errorf("rank %d: panic %q, want freed-communicator report", pr.Rank(), r)
+			}
+		}()
+		dup.Gatherv(0, F64(nil), []int{0, 0}, nil)
+	})
+}
+
+// TestRecvTruncationPanics covers the message-longer-than-buffer error
+// path. The message must already be queued as unexpected when the receive
+// is posted, so the panic fires on the receiver's own goroutine where it
+// can be recovered.
+func TestRecvTruncationPanics(t *testing.T) {
+	runJob(t, 2, 1, func(pr *Proc) {
+		if pr.Rank() == 0 {
+			pr.World().Send(1, 4, F64(make([]float64, 10)))
+			return
+		}
+		pr.Sleep(1e-3) // let the eager message arrive unexpected
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Error("truncated receive did not panic")
+				return
+			}
+			if !strings.Contains(r.(string), "truncated") {
+				t.Errorf("panic %q, want truncation report", r)
+			}
+		}()
+		pr.World().Recv(0, 4, F64(make([]float64, 5)))
+	})
+}

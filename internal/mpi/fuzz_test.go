@@ -1,0 +1,107 @@
+package mpi
+
+import (
+	"testing"
+
+	"commoverlap/internal/sim"
+	"commoverlap/internal/simnet"
+)
+
+// FuzzCollectiveSizes runs the blocking collectives over arbitrary element
+// counts, world sizes and roots — straddling algorithm switch-points
+// (binomial vs scatter-allgather broadcast, binomial vs Rabenseifner
+// reduce, power-of-two vs fold/unfold allreduce) and the eager/rendezvous
+// boundary — and checks every result against the serial oracle. Payloads
+// are small integers, so tree reductions are exact in float64 regardless of
+// association order, and any mismatch is a real protocol bug rather than
+// roundoff. The world must also tear down clean.
+func FuzzCollectiveSizes(f *testing.F) {
+	f.Add(uint16(0), uint8(1), uint8(0))
+	f.Add(uint16(1), uint8(2), uint8(1))
+	f.Add(uint16(300), uint8(5), uint8(2))   // eager, non-power-of-two
+	f.Add(uint16(9000), uint8(4), uint8(3))  // rendezvous, power-of-two
+	f.Add(uint16(16384), uint8(7), uint8(6)) // rendezvous, odd world
+
+	f.Fuzz(func(t *testing.T, elems16 uint16, ranks8, root8 uint8) {
+		elems := int(elems16)
+		ranks := int(ranks8%8) + 1 // 1..8
+		root := int(root8) % ranks
+		nodes := (ranks + 1) / 2
+
+		eng := sim.NewEngine()
+		net, err := simnet.New(eng, simnet.DefaultConfig(nodes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := NewWorld(net, ranks, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// val is rank r's contribution for element i; sum is the oracle.
+		val := func(r, i int) float64 { return float64((r + 1) * (i%9 + 1)) }
+		sum := func(i int) float64 {
+			s := 0.0
+			for r := 0; r < ranks; r++ {
+				s += val(r, i)
+			}
+			return s
+		}
+
+		w.Launch(func(p *Proc) {
+			c := p.World()
+
+			bbuf := make([]float64, elems)
+			if p.Rank() == root {
+				for i := range bbuf {
+					bbuf[i] = val(root, i)
+				}
+			}
+			c.Bcast(root, F64(bbuf))
+			for i := range bbuf {
+				if bbuf[i] != val(root, i) {
+					t.Errorf("bcast(root=%d, n=%d, p=%d): rank %d elem %d = %g, want %g",
+						root, elems, ranks, p.Rank(), i, bbuf[i], val(root, i))
+					return
+				}
+			}
+
+			send := make([]float64, elems)
+			for i := range send {
+				send[i] = val(p.Rank(), i)
+			}
+			recv := make([]float64, elems)
+			c.Reduce(root, F64(send), F64(recv), OpSum)
+			if p.Rank() == root {
+				for i := range recv {
+					if recv[i] != sum(i) {
+						t.Errorf("reduce(root=%d, n=%d, p=%d): elem %d = %g, want %g",
+							root, elems, ranks, i, recv[i], sum(i))
+						return
+					}
+				}
+			}
+
+			abuf := make([]float64, elems)
+			for i := range abuf {
+				abuf[i] = val(p.Rank(), i)
+			}
+			c.Allreduce(F64(abuf), OpSum)
+			for i := range abuf {
+				if abuf[i] != sum(i) {
+					t.Errorf("allreduce(n=%d, p=%d): rank %d elem %d = %g, want %g",
+						elems, ranks, p.Rank(), i, abuf[i], sum(i))
+					return
+				}
+			}
+
+			c.Barrier()
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatalf("collectives deadlocked (n=%d, p=%d, root=%d): %v", elems, ranks, root, err)
+		}
+		if err := w.CheckClean(); err != nil {
+			t.Fatalf("world not clean after collectives (n=%d, p=%d, root=%d): %v", elems, ranks, root, err)
+		}
+	})
+}

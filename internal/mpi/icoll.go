@@ -1,6 +1,10 @@
 package mpi
 
-import "commoverlap/internal/sim"
+import (
+	"fmt"
+
+	"commoverlap/internal/sim"
+)
 
 // Nonblocking collectives (MPI-3 style). Posting charges the staging cost
 // inline on the caller — so posting several nonblocking collectives back to
@@ -13,7 +17,7 @@ import "commoverlap/internal/sim"
 // spawnColl runs schedule in a child process and returns a request that
 // completes when the rank's participation in the collective finishes.
 func (c *Comm) spawnColl(name string, schedule func(sp *sim.Proc)) *Request {
-	req := &Request{done: c.p.w.Eng.NewGate(), sp: c.p.sp}
+	req := c.p.w.newRequest(c.p.sp, name, c.p.rank, c.ctx)
 	c.p.w.Eng.Spawn(name, func(sp *sim.Proc) {
 		schedule(sp)
 		req.done.Fire()
@@ -67,11 +71,22 @@ const testOverhead = 0.1e-6
 // sleeping in between — the paper's park mechanism for ranks that are
 // inactive in a kernel (MPI_Ibarrier + MPI_Test + usleep every 10 ms).
 // It returns once the request completes.
+//
+// A request that never completes would otherwise spin forever: unlike a
+// parked process, a poller keeps generating events, so the engine never
+// detects the deadlock. World.MaxPollTime bounds the spin; exceeding it
+// panics loudly, naming the rank that was never woken.
 func (p *Proc) PollWait(req *Request, interval float64) {
+	deadline := p.sp.Now() + p.w.MaxPollTime
 	for !req.Test() {
 		p.w.Net.ChargeCPU(p.sp, p.st.ep, testOverhead)
 		if req.Test() {
 			return
+		}
+		if p.w.MaxPollTime > 0 && p.sp.Now() >= deadline {
+			panic(fmt.Sprintf(
+				"mpi: rank %d polled a request for %g virtual seconds without completion — parked process was never woken",
+				p.rank, p.w.MaxPollTime))
 		}
 		p.sp.Sleep(interval)
 	}

@@ -1,0 +1,175 @@
+package mpi
+
+import (
+	"testing"
+
+	"commoverlap/internal/sim"
+	"commoverlap/internal/simnet"
+	"commoverlap/internal/trace"
+)
+
+// eagerElems fits under the default 64 KiB eager limit; rndvElems exceeds it
+// and takes the rendezvous path whose zero-byte RTS races ahead of any
+// in-flight eager payload.
+const (
+	eagerElems = 8000 // 64 000 bytes, eager
+	rndvElems  = 9000 // 72 000 bytes, rendezvous
+)
+
+// TestNonOvertakingEagerThenRendezvous is the regression test for the
+// transport-order bug the admission sequencing fixes: a fat eager message
+// followed by a rendezvous message on the same (comm, src, dst, tag) — the
+// rendezvous RTS is a zero-byte control message that reaches the receiver
+// long before the eager payload, and without in-order admission it matches
+// the receiver's FIRST posted receive, violating MPI's non-overtaking rule.
+func TestNonOvertakingEagerThenRendezvous(t *testing.T) {
+	runJob(t, 2, 2, func(p *Proc) {
+		c := p.World()
+		if p.Rank() == 0 {
+			m1 := make([]float64, eagerElems)
+			m2 := make([]float64, rndvElems)
+			for i := range m1 {
+				m1[i] = 1
+			}
+			for i := range m2 {
+				m2[i] = 2
+			}
+			r1 := c.Isend(1, 5, F64(m1))
+			r2 := c.Isend(1, 5, F64(m2))
+			Waitall(r1, r2)
+			return
+		}
+		first := make([]float64, rndvElems)
+		second := make([]float64, rndvElems)
+		st1 := c.Recv(0, 5, F64(first))
+		st2 := c.Recv(0, 5, F64(second))
+		if st1.Bytes != eagerElems*8 || first[0] != 1 {
+			t.Errorf("first recv got %d bytes value %g, want the eager message first", st1.Bytes, first[0])
+		}
+		if st2.Bytes != rndvElems*8 || second[0] != 2 {
+			t.Errorf("second recv got %d bytes value %g, want the rendezvous message second", st2.Bytes, second[0])
+		}
+	})
+}
+
+// TestUnsafeNoMsgOrderAllowsOvertaking verifies the fault-injection knob the
+// checker's self-test relies on. Under the default FIFO schedule the shared
+// per-stage resources happen to preserve same-pair transport order, so the
+// knob only shows under an adversarial schedule: LIFO tie-breaking runs the
+// second transfer's processes first, its zero-byte rendezvous RTS reserves
+// the sender NIC ahead of the eager payload, and with admission sequencing
+// disabled the receiver matches it to the FIRST posted receive. With
+// sequencing enabled the identical schedule holds the early envelope and
+// delivery order is restored.
+func TestUnsafeNoMsgOrderAllowsOvertaking(t *testing.T) {
+	run := func(unsafeOrder bool) (firstBytes, secondBytes int64) {
+		eng := sim.NewEngine()
+		eng.SetTieBreak(sim.LIFO())
+		net, err := simnet.New(eng, simnet.DefaultConfig(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := NewWorld(net, 2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.UnsafeNoMsgOrder = unsafeOrder
+		w.Launch(func(p *Proc) {
+			c := p.World()
+			if p.Rank() == 0 {
+				m1 := make([]float64, eagerElems)
+				m2 := make([]float64, rndvElems)
+				Waitall(c.Isend(1, 5, F64(m1)), c.Isend(1, 5, F64(m2)))
+				return
+			}
+			st1 := c.Recv(0, 5, F64(make([]float64, rndvElems)))
+			st2 := c.Recv(0, 5, F64(make([]float64, rndvElems)))
+			firstBytes, secondBytes = st1.Bytes, st2.Bytes
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return firstBytes, secondBytes
+	}
+	if first, second := run(true); first != rndvElems*8 || second != eagerElems*8 {
+		t.Errorf("unsafe mode under LIFO: recvs got (%d, %d) bytes; the rendezvous RTS should overtake, want (%d, %d)",
+			first, second, rndvElems*8, eagerElems*8)
+	}
+	if first, second := run(false); first != eagerElems*8 || second != rndvElems*8 {
+		t.Errorf("ordered mode under LIFO: recvs got (%d, %d) bytes, want send order (%d, %d)",
+			first, second, eagerElems*8, rndvElems*8)
+	}
+}
+
+func TestNonOvertakingManySameSize(t *testing.T) {
+	const k = 8
+	runJob(t, 2, 2, func(p *Proc) {
+		c := p.World()
+		if p.Rank() == 0 {
+			reqs := make([]*Request, k)
+			for i := 0; i < k; i++ {
+				reqs[i] = c.Isend(1, 3, F64([]float64{float64(i)}))
+			}
+			Waitall(reqs...)
+			return
+		}
+		for i := 0; i < k; i++ {
+			buf := []float64{-1}
+			c.Recv(0, 3, F64(buf))
+			if buf[0] != float64(i) {
+				t.Errorf("recv %d got payload %g, want %d", i, buf[0], i)
+			}
+		}
+	})
+}
+
+// TestProbeEmitsOrderedRecords checks the typed event stream the invariant
+// checker consumes: every message gets post/admit/match records, and per
+// (ctx, src, dst) the admit sequence numbers are contiguous from zero.
+func TestProbeEmitsOrderedRecords(t *testing.T) {
+	eng := sim.NewEngine()
+	net, err := simnet.New(eng, simnet.DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorld(net, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log trace.MsgLog
+	w.Probe = log.Add
+	w.Launch(func(p *Proc) {
+		c := p.World()
+		if p.Rank() == 0 {
+			for i := 0; i < 3; i++ {
+				c.Send(1, 11, F64([]float64{float64(i)}))
+			}
+			return
+		}
+		for i := 0; i < 3; i++ {
+			c.Recv(0, 11, F64(make([]float64, 1)))
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[trace.MsgKind]int{}
+	var admits []int64
+	for _, e := range log.Events() {
+		counts[e.Kind]++
+		if e.Kind == trace.MsgAdmit {
+			admits = append(admits, e.Seq)
+		}
+	}
+	// 3 app messages plus any protocol messages; at minimum 3 of each kind.
+	for _, k := range []trace.MsgKind{trace.MsgPost, trace.MsgAdmit, trace.MsgMatch} {
+		if counts[k] < 3 {
+			t.Errorf("saw %d %v events, want >= 3", counts[k], k)
+		}
+	}
+	for i, s := range admits {
+		if s != int64(i) {
+			t.Fatalf("admit seqs %v, want contiguous from 0", admits)
+		}
+	}
+}

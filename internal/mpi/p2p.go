@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"commoverlap/internal/sim"
+	"commoverlap/internal/trace"
 )
 
 // Status describes a completed receive.
@@ -48,7 +49,8 @@ func Waitall(reqs ...*Request) {
 // payload that has arrived, or a rendezvous announcement (RTS) whose bulk
 // data moves only after a matching receive is posted.
 type inflight struct {
-	ctx, src, tag int // src is the sender's comm rank
+	ctx, src, tag int   // src is the sender's comm rank
+	seq           int64 // per-(ctx, src->dst) send order, drives admission
 	bytes         int64
 	payload       Buffer // eager: valid at delivery
 	rndv          *rndvInfo
@@ -80,12 +82,17 @@ func (c *Comm) isendOn(sp *sim.Proc, dest, tag int, buf Buffer) *Request {
 	if dest < 0 || dest >= len(c.group) {
 		panic(fmt.Sprintf("mpi: send to rank %d of %d", dest, len(c.group)))
 	}
+	c.checkUsable()
 	w := c.p.w
 	st := c.p.st
-	dst := w.ranks[c.group[dest]]
-	req := &Request{done: w.Eng.NewGate(), sp: sp}
+	dstWorld := c.group[dest]
+	dst := w.ranks[dstWorld]
+	req := w.newRequest(sp, "isend", st.rank, c.ctx)
 	size := buf.Bytes()
-	m := &inflight{ctx: c.ctx, src: c.rank, tag: tag, bytes: size}
+	sk := pairKey{ctx: c.ctx, peer: dstWorld}
+	m := &inflight{ctx: c.ctx, src: c.rank, tag: tag, seq: st.sendSeq[sk], bytes: size}
+	st.sendSeq[sk]++
+	w.emit(trace.MsgPost, m, dstWorld)
 
 	if size <= w.Net.Cfg.EagerLimit {
 		pay := buf.clone()
@@ -111,8 +118,9 @@ func (c *Comm) irecvOn(sp *sim.Proc, src, tag int, buf Buffer) *Request {
 	if src != AnySource && (src < 0 || src >= len(c.group)) {
 		panic(fmt.Sprintf("mpi: recv from rank %d of %d", src, len(c.group)))
 	}
+	c.checkUsable()
 	st := c.p.st
-	req := &Request{done: c.p.w.Eng.NewGate(), sp: sp}
+	req := c.p.w.newRequest(sp, "irecv", st.rank, c.ctx)
 	r := &postedRecv{ctx: c.ctx, src: src, tag: tag, buf: buf, req: req}
 	for i, m := range st.unexpected {
 		if m.matches(r) {
@@ -126,8 +134,51 @@ func (c *Comm) irecvOn(sp *sim.Proc, src, tag int, buf Buffer) *Request {
 }
 
 // deliver is called (from a transfer completion) when a message or
-// rendezvous announcement becomes visible at this rank.
+// rendezvous announcement becomes visible at this rank. Envelopes enter the
+// matching engine strictly in per-(ctx, src) send order — MPI's
+// non-overtaking guarantee — regardless of the order the transport produced
+// them in: a chronologically early envelope of a later send (a zero-byte
+// rendezvous RTS overtaking a fat eager payload, or a tie resolved
+// adversarially by the scheduler) is held until its predecessors arrive.
 func (st *rankState) deliver(m *inflight) {
+	if st.w.UnsafeNoMsgOrder {
+		st.recvSeq[pairKey{ctx: m.ctx, peer: m.src}]++
+		st.admit(m)
+		return
+	}
+	if m.seq != st.recvSeq[pairKey{ctx: m.ctx, peer: m.src}] {
+		st.held = append(st.held, m)
+		return
+	}
+	st.admitNext(m)
+	// Admitting m may unblock held successors (and theirs, transitively).
+	for {
+		advanced := false
+		for i, h := range st.held {
+			if h.seq == st.recvSeq[pairKey{ctx: h.ctx, peer: h.src}] {
+				st.held = append(st.held[:i], st.held[i+1:]...)
+				st.admitNext(h)
+				advanced = true
+				break
+			}
+		}
+		if !advanced {
+			return
+		}
+	}
+}
+
+// admitNext advances the admission sequence for m's sender and hands the
+// envelope to the matching engine.
+func (st *rankState) admitNext(m *inflight) {
+	st.recvSeq[pairKey{ctx: m.ctx, peer: m.src}]++
+	st.admit(m)
+}
+
+// admit hands one envelope to the matching engine: match a posted receive
+// or queue as unexpected.
+func (st *rankState) admit(m *inflight) {
+	st.w.emit(trace.MsgAdmit, m, st.rank)
 	for i, r := range st.posted {
 		if m.matches(r) {
 			st.posted = append(st.posted[:i], st.posted[i+1:]...)
@@ -146,6 +197,7 @@ func (st *rankState) complete(m *inflight, r *postedRecv) {
 		panic(fmt.Sprintf("mpi: message of %d bytes truncated into %d-byte buffer (src %d tag %d)",
 			m.bytes, r.buf.Bytes(), m.src, m.tag))
 	}
+	st.w.emit(trace.MsgMatch, m, st.rank)
 	r.req.Status = Status{Source: m.src, Tag: m.tag, Bytes: m.bytes}
 	w := st.w
 	if m.rndv == nil {

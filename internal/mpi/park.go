@@ -13,7 +13,9 @@ func RunActive(p *Proc, comm *Comm, active bool, poll float64, body func()) {
 		poll = DefaultPollInterval
 	}
 	if !active {
+		p.w.parks++
 		p.PollWait(comm.Ibarrier(), poll)
+		p.w.wakes++
 		return
 	}
 	body()

@@ -12,9 +12,12 @@ package mpi
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"commoverlap/internal/sim"
 	"commoverlap/internal/simnet"
+	"commoverlap/internal/trace"
 )
 
 // AnySource and AnyTag are wildcard values for Recv and Irecv.
@@ -35,6 +38,44 @@ type World struct {
 	// BcastStageFactor scales the posting/staging cost of broadcasts
 	// relative to reductions (broadcast implementations stage lazily).
 	BcastStageFactor float64
+
+	// Probe, when non-nil, observes every protocol step of every message
+	// (post, in-order envelope admission, match) as a typed trace record.
+	// The schedule-exploration checker installs it to verify non-overtaking
+	// and admission-order invariants from outside the package.
+	Probe func(trace.MsgEvent)
+
+	// MaxPollTime bounds how long PollWait will poll one request, in
+	// virtual seconds. A parked rank whose wake-up never comes would
+	// otherwise spin forever in virtual time (the engine never runs out of
+	// events); exceeding the bound panics with a diagnosis instead. Zero
+	// disables the guard.
+	MaxPollTime float64
+
+	// UnsafeNoMsgOrder disables the receiver-side in-order envelope
+	// admission, reverting message matching to raw transport-arrival order.
+	// It exists ONLY as fault injection for the checker's self-test (the
+	// injected bug must be caught by the non-overtaking invariant) and must
+	// never be set in production code.
+	UnsafeNoMsgOrder bool
+
+	open         map[*Request]reqInfo // in-flight (unfired) requests
+	parks, wakes int                  // RunActive park/wake accounting
+}
+
+// reqInfo describes an open request for teardown diagnostics.
+type reqInfo struct {
+	kind string // "isend", "irecv", "ibcast", ...
+	rank int    // world rank that posted it
+	ctx  int    // communicator context id
+}
+
+// pairKey identifies one direction of one rank pair within one
+// communicator. On the sender side the peer is the destination's world
+// rank; on the receiver side it is the sender's comm rank (which, together
+// with ctx, uniquely names the sending process).
+type pairKey struct {
+	ctx, peer int
 }
 
 // rankState is the per-rank communication engine state shared by the rank's
@@ -45,6 +86,10 @@ type rankState struct {
 	ep         *simnet.Endpoint
 	unexpected []*inflight
 	posted     []*postedRecv
+
+	sendSeq map[pairKey]int64 // next seq to assign, per (ctx, dst world rank)
+	recvSeq map[pairKey]int64 // next seq to admit, per (ctx, src comm rank)
+	held    []*inflight       // envelopes that arrived ahead of their turn
 }
 
 // NewWorld creates size ranks placed on nodes according to placement
@@ -62,6 +107,8 @@ func NewWorld(net *simnet.Net, size int, placement []int) (*World, error) {
 		Net:              net,
 		splitSlots:       make(map[splitKey]*splitSlot),
 		BcastStageFactor: 3.0,
+		MaxPollTime:      3600, // one virtual hour: far beyond any legitimate sim
+		open:             make(map[*Request]reqInfo),
 	}
 	w.ranks = make([]*rankState, size)
 	for r := 0; r < size; r++ {
@@ -69,9 +116,93 @@ func NewWorld(net *simnet.Net, size int, placement []int) (*World, error) {
 		if placement != nil {
 			node = placement[r]
 		}
-		w.ranks[r] = &rankState{w: w, rank: r, ep: net.NewEndpoint(node)}
+		w.ranks[r] = &rankState{
+			w: w, rank: r, ep: net.NewEndpoint(node),
+			sendSeq: make(map[pairKey]int64),
+			recvSeq: make(map[pairKey]int64),
+		}
 	}
 	return w, nil
+}
+
+// newRequest allocates a tracked request. Every request the library creates
+// goes through here so that teardown can enumerate the ones never completed.
+func (w *World) newRequest(sp *sim.Proc, kind string, rank, ctx int) *Request {
+	req := &Request{done: w.Eng.NewGate(), sp: sp}
+	w.open[req] = reqInfo{kind: kind, rank: rank, ctx: ctx}
+	req.done.OnFire(func() { delete(w.open, req) })
+	return req
+}
+
+// emit publishes a message-protocol step to the Probe hook, if installed.
+func (w *World) emit(kind trace.MsgKind, m *inflight, dstWorld int) {
+	if w.Probe == nil {
+		return
+	}
+	w.Probe(trace.MsgEvent{
+		Kind: kind, T: w.Eng.Now(),
+		Ctx: m.ctx, Src: m.src, Dst: dstWorld, Tag: m.tag,
+		Seq: m.seq, Bytes: m.bytes,
+	})
+}
+
+// PendingRequests reports the number of posted requests that have not
+// completed.
+func (w *World) PendingRequests() int { return len(w.open) }
+
+// ParkStats reports how many ranks RunActive has parked and how many of
+// those have been woken again.
+func (w *World) ParkStats() (parks, wakes int) { return w.parks, w.wakes }
+
+// EachResource visits every FIFO resource the job touches: the fabric's
+// wires and buses plus each rank's CPU and NIC lanes. Checkers use it to
+// install reservation audits.
+func (w *World) EachResource(f func(*sim.Resource)) {
+	w.Net.EachResource(f)
+	for _, st := range w.ranks {
+		f(st.ep.CPU)
+		f(st.ep.NIC)
+	}
+}
+
+// CheckClean verifies that the job tore down completely: every request
+// completed, every posted receive matched, no message was left undelivered
+// or stuck awaiting admission, every parked rank was woken, and no
+// simulation process is still alive. It returns nil when clean and an error
+// enumerating every leak otherwise. Call it after Engine.Run; tests should
+// treat any non-nil result as a failure.
+func (w *World) CheckClean() error {
+	var leaks []string
+	if n := len(w.open); n > 0 {
+		descs := make([]string, 0, n)
+		for _, info := range w.open {
+			descs = append(descs, fmt.Sprintf("%s(rank %d, ctx %d)", info.kind, info.rank, info.ctx))
+		}
+		sort.Strings(descs)
+		leaks = append(leaks, fmt.Sprintf("%d pending request(s): %v", n, descs))
+	}
+	for _, st := range w.ranks {
+		if n := len(st.posted); n > 0 {
+			leaks = append(leaks, fmt.Sprintf("rank %d: %d posted receive(s) never matched", st.rank, n))
+		}
+		if n := len(st.unexpected); n > 0 {
+			leaks = append(leaks, fmt.Sprintf("rank %d: %d unexpected message(s) never received", st.rank, n))
+		}
+		if n := len(st.held); n > 0 {
+			leaks = append(leaks, fmt.Sprintf("rank %d: %d envelope(s) stuck awaiting in-order admission", st.rank, n))
+		}
+	}
+	if w.parks != w.wakes {
+		leaks = append(leaks, fmt.Sprintf("%d rank(s) parked but never woken (%d parks, %d wakes)",
+			w.parks-w.wakes, w.parks, w.wakes))
+	}
+	if n := w.Eng.Live(); n > 0 {
+		leaks = append(leaks, fmt.Sprintf("%d live simulation process(es): %v", n, w.Eng.LiveProcs()))
+	}
+	if len(leaks) == 0 {
+		return nil
+	}
+	return fmt.Errorf("mpi: world not clean at teardown:\n  %s", strings.Join(leaks, "\n  "))
 }
 
 // Size returns the number of ranks.

@@ -28,6 +28,8 @@ type Engine struct {
 	live   map[*Proc]struct{}
 	idseq  int
 	closed bool
+	tie    TieBreak
+	hook   func(t float64, p *Proc)
 }
 
 type event struct {
@@ -65,6 +67,33 @@ func NewEngine() *Engine {
 
 // Now reports the current virtual time in seconds.
 func (e *Engine) Now() float64 { return e.now }
+
+// SetTieBreak installs a policy for ordering same-time events. A nil policy
+// (the default) is equivalent to FIFO and skips the tie-collection work in
+// the hot loop. Install a policy before Run; changing it mid-run is legal
+// but makes the schedule hard to describe.
+func (e *Engine) SetTieBreak(tb TieBreak) { e.tie = tb }
+
+// SetEventHook installs an observer called once per dispatched event, after
+// the clock has advanced to the event's time and before the process resumes.
+// The hook must not call back into the engine. Checkers use it to assert
+// virtual-clock monotonicity and to count scheduling decisions.
+func (e *Engine) SetEventHook(h func(t float64, p *Proc)) { e.hook = h }
+
+// Live reports the number of processes that have been spawned and not yet
+// returned. After a Run that returned nil it is zero by construction.
+func (e *Engine) Live() int { return len(e.live) }
+
+// LiveProcs describes the still-live processes (name, id, and what they are
+// blocked on), sorted, for teardown diagnostics.
+func (e *Engine) LiveProcs() []string {
+	names := make([]string, 0, len(e.live))
+	for p := range e.live {
+		names = append(names, fmt.Sprintf("%s(#%d) blocked on %s", p.Name, p.ID, p.blockedOn))
+	}
+	sort.Strings(names)
+	return names
+}
 
 // Proc is a simulation process. All methods must be called from the
 // goroutine running the process's body function.
@@ -123,24 +152,48 @@ func (e *Engine) wakeAt(t float64, p *Proc) {
 func (e *Engine) Run() error {
 	for e.events.Len() > 0 {
 		ev := heap.Pop(&e.events).(event)
+		if e.tie != nil && e.events.Len() > 0 && e.events[0].t == ev.t {
+			ev = e.breakTie(ev)
+		}
 		if ev.t < e.now {
 			panic(fmt.Sprintf("sim: time went backwards: %g -> %g", e.now, ev.t))
 		}
 		e.now = ev.t
+		if e.hook != nil {
+			e.hook(ev.t, ev.p)
+		}
 		ev.p.pending = false
 		ev.p.resume <- struct{}{}
 		<-e.yield
 	}
 	e.closed = true
 	if len(e.live) > 0 {
-		names := make([]string, 0, len(e.live))
-		for p := range e.live {
-			names = append(names, fmt.Sprintf("%s(#%d) blocked on %s", p.Name, p.ID, p.blockedOn))
-		}
-		sort.Strings(names)
+		names := e.LiveProcs()
 		return fmt.Errorf("sim: deadlock, %d live processes: %v", len(names), names)
 	}
 	return nil
+}
+
+// breakTie collects every event tied with ev at the same virtual time, asks
+// the policy which to run, and reinserts the rest with their original
+// sequence numbers so their relative (FIFO) order is preserved. Successive
+// heap pops at equal times come off in ascending sequence order, so the
+// candidate slice the policy indexes into is FIFO-ordered.
+func (e *Engine) breakTie(ev event) event {
+	ties := []event{ev}
+	for e.events.Len() > 0 && e.events[0].t == ev.t {
+		ties = append(ties, heap.Pop(&e.events).(event))
+	}
+	k := e.tie.Choose(len(ties))
+	if k < 0 || k >= len(ties) {
+		panic(fmt.Sprintf("sim: tie-break chose %d of %d candidates", k, len(ties)))
+	}
+	for i := range ties {
+		if i != k {
+			heap.Push(&e.events, ties[i])
+		}
+	}
+	return ties[k]
 }
 
 // SleepUntil blocks the process until virtual time t. Times in the past

@@ -14,6 +14,11 @@ type Resource struct {
 	Name string
 	free float64 // next time the resource is idle
 	busy float64 // cumulative occupied time, for utilization reporting
+
+	// Audit, when non-nil, observes every reservation as (ready, start,
+	// done). Checkers install it to assert the FIFO non-overlap invariant
+	// (start >= ready, start >= previous done) from outside the package.
+	Audit func(ready, start, done float64)
 }
 
 // NewResource returns an idle resource available from time zero.
@@ -32,6 +37,9 @@ func (r *Resource) Reserve(ready, dur float64) (start, done float64) {
 	done = start + dur
 	r.free = done
 	r.busy += dur
+	if r.Audit != nil {
+		r.Audit(ready, start, done)
+	}
 	return start, done
 }
 

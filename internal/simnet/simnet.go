@@ -175,6 +175,21 @@ func (n *Net) NewEndpoint(node int) *Endpoint {
 	return ep
 }
 
+// EachResource visits every FIFO resource the fabric owns (core switch,
+// per-node egress/ingress wires and shared-memory buses). Endpoint CPU/NIC
+// resources belong to their creators and are not visited; the MPI layer's
+// World.EachResource covers those. Checkers use this to install audits.
+func (n *Net) EachResource(f func(*sim.Resource)) {
+	if n.core != nil {
+		f(n.core)
+	}
+	for _, nd := range n.nodes {
+		f(nd.egress)
+		f(nd.ingress)
+		f(nd.shm)
+	}
+}
+
 // WireBusyTime returns the cumulative egress occupancy of a node's wire,
 // for utilization accounting in benchmarks.
 func (n *Net) WireBusyTime(node int) float64 { return n.nodes[node].egress.BusyTime() }
