@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	overlapbench [-n dim] [-csv dir] [experiment ...]
+//	overlapbench [-n dim] [-csv dir] [-trace file] [-metrics] [experiment ...]
+//	overlapbench -validate-trace file
 //
 // Experiments: fig3, fig4, fig5, fig6, table1, table2, table3, table4,
 // table5 (the paper's artifacts), plus the extensions solver
@@ -13,22 +14,70 @@
 // "all" (the default) runs everything except report. -n overrides the
 // matrix dimension for the kernel tables (default: the paper's 1hsg_70,
 // N = 7645). -csv also writes each experiment's data as <dir>/<id>.csv.
+//
+// -trace writes the fig6 operation timeline as Chrome trace-event JSON
+// (load in Perfetto or chrome://tracing). -metrics installs a virtual-time
+// metrics registry into every experiment job and dumps the accumulated
+// counters when the run finishes. -validate-trace checks that a previously
+// exported trace file is well-formed (used by CI) and exits.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
 
 	"commoverlap/internal/bench"
+	"commoverlap/internal/metrics"
+	"commoverlap/internal/trace"
 )
+
+// writeFile streams write into path through a buffered writer and
+// propagates every failure — including Flush and Close errors, which is
+// where a full disk actually surfaces — instead of dropping them in a
+// deferred Close.
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	err = write(bw)
+	if err == nil {
+		err = bw.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
 func main() {
 	n := flag.Int("n", 0, "matrix dimension for kernel tables (0 = paper's 1hsg_70)")
 	csvDir := flag.String("csv", "", "directory to write <experiment>.csv files into")
+	tracePath := flag.String("trace", "", "write the fig6 timeline as Chrome trace JSON to this file")
+	showMetrics := flag.Bool("metrics", false, "accumulate and print virtual-time metrics across the runs")
+	validate := flag.String("validate-trace", "", "validate a Chrome trace JSON file and exit")
 	flag.Parse()
+	if *validate != "" {
+		f, err := os.Open(*validate)
+		if err == nil {
+			err = trace.ValidateChromeTrace(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", *validate, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid Chrome trace\n", *validate)
+		return
+	}
 	exps := flag.Args()
 	if len(exps) == 0 {
 		exps = []string{"all"}
@@ -44,19 +93,16 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *showMetrics {
+		bench.Metrics = &metrics.Registry{}
+	}
 
-	csvOut := func(id string, write func(f *os.File) error) {
+	csvOut := func(id string, write func(w io.Writer) error) {
 		if *csvDir == "" {
 			return
 		}
 		path := filepath.Join(*csvDir, id+".csv")
-		f, err := os.Create(path)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := write(f); err != nil {
+		if err := writeFile(path, write); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -87,7 +133,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		csvOut("fig3", func(f *os.File) error { return res.WriteCSV(f) })
+		csvOut("fig3", func(f io.Writer) error { return res.WriteCSV(f) })
 		return nil
 	})
 	run("fig4", func() error { bench.Fig4(os.Stdout); return nil })
@@ -96,7 +142,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		csvOut("fig5", func(f *os.File) error { return res.WriteCSV(f) })
+		csvOut("fig5", func(f io.Writer) error { return res.WriteCSV(f) })
 		return nil
 	})
 	run("fig6", func() error {
@@ -104,7 +150,13 @@ func main() {
 		if err != nil {
 			return err
 		}
-		csvOut("fig6", func(f *os.File) error { return res.WriteCSV(f) })
+		csvOut("fig6", func(f io.Writer) error { return res.WriteCSV(f) })
+		if *tracePath != "" {
+			if err := writeFile(*tracePath, res.WriteChromeTrace); err != nil {
+				return err
+			}
+			fmt.Printf("  [wrote Chrome trace %s]\n", *tracePath)
+		}
 		return nil
 	})
 	run("table1", func() error {
@@ -112,7 +164,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		csvOut("table1", func(f *os.File) error { return bench.Table1CSV(f, rows) })
+		csvOut("table1", func(f io.Writer) error { return bench.Table1CSV(f, rows) })
 		return nil
 	})
 	run("table2", func() error {
@@ -120,7 +172,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		csvOut("table2", func(f *os.File) error { return bench.Table2CSV(f, rows) })
+		csvOut("table2", func(f io.Writer) error { return bench.Table2CSV(f, rows) })
 		return nil
 	})
 	run("table3", func() error {
@@ -128,7 +180,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		csvOut("table3", func(f *os.File) error { return bench.Table3CSV(f, rows) })
+		csvOut("table3", func(f io.Writer) error { return bench.Table3CSV(f, rows) })
 		return nil
 	})
 	run("table4", func() error {
@@ -136,7 +188,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		csvOut("table4", func(f *os.File) error { return bench.Table4CSV(f, rows) })
+		csvOut("table4", func(f io.Writer) error { return bench.Table4CSV(f, rows) })
 		return nil
 	})
 	run("table5", func() error {
@@ -144,7 +196,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		csvOut("table5", func(f *os.File) error { return bench.Table5CSV(f, rows) })
+		csvOut("table5", func(f io.Writer) error { return bench.Table5CSV(f, rows) })
 		return nil
 	})
 	// Extensions beyond the paper's evaluation (also included in "all").
@@ -166,5 +218,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("  [report regenerated in %.1fs wall time]\n\n", time.Since(start).Seconds())
+	}
+	if *showMetrics {
+		fmt.Println("Virtual-time metrics accumulated across the runs:")
+		bench.Metrics.WriteText(os.Stdout)
 	}
 }

@@ -11,15 +11,63 @@
 //	simcheck -n 100                  # 100 seeded schedules per scenario
 //	simcheck -list                   # catalog
 //	simcheck -scenario p2p-burst -policy random -seed 17 -n 1   # replay
+//
+// -metrics adds a per-run resource-utilization line (mean busy fraction of
+// the wire, CPU and NIC lanes over the run, plus the single busiest
+// resource). -trace FILE exports one run's message-protocol events as
+// Chrome trace JSON; it requires a single-run selection (-scenario and
+// -policy, with -n 1 for the random policy), since one trace file can only
+// hold one schedule.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"commoverlap/internal/check"
+	"commoverlap/internal/sim"
+	"commoverlap/internal/trace"
 )
+
+// utilLine summarizes a run's resource snapshots: mean busy fraction per
+// lane class and the busiest single resource.
+func utilLine(resources []sim.ResourceStats, elapsed float64) string {
+	if elapsed <= 0 {
+		return "util: n/a (zero elapsed)"
+	}
+	var wire, cpu, nic float64
+	var nWire, nCPU, nNIC int
+	var topName string
+	var top float64
+	for _, s := range resources {
+		f := s.Utilization(elapsed)
+		switch {
+		case strings.HasSuffix(s.Name, ".egress"):
+			wire += f
+			nWire++
+		case strings.HasSuffix(s.Name, ".cpu"):
+			cpu += f
+			nCPU++
+		case strings.HasSuffix(s.Name, ".nic"):
+			nic += f
+			nNIC++
+		}
+		if f > top {
+			top, topName = f, s.Name
+		}
+	}
+	mean := func(sum float64, n int) float64 {
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n)
+	}
+	return fmt.Sprintf("util: wire %.1f%% cpu %.1f%% nic %.1f%% (busiest %s %.1f%%)",
+		100*mean(wire, nWire), 100*mean(cpu, nCPU), 100*mean(nic, nNIC), topName, 100*top)
+}
 
 func main() {
 	var (
@@ -29,6 +77,8 @@ func main() {
 		policy   = flag.String("policy", "", "run only the named policy: fifo, lifo or random (default: all)")
 		list     = flag.Bool("list", false, "list scenarios and policies, then exit")
 		verbose  = flag.Bool("v", false, "print every run, not just failures")
+		metrics  = flag.Bool("metrics", false, "print per-run resource utilization")
+		traceOut = flag.String("trace", "", "export the run's message events as Chrome trace JSON (single run only)")
 	)
 	flag.Parse()
 
@@ -67,6 +117,19 @@ func main() {
 		policies = []check.Policy{pol}
 	}
 
+	seededRuns := 0
+	for _, pol := range policies {
+		if pol.Seeded {
+			seededRuns += *n - 1
+		}
+	}
+	singleRun := len(scens) == 1 && len(policies) == 1 && seededRuns <= 0
+	if *traceOut != "" && !singleRun {
+		fmt.Fprintln(os.Stderr,
+			"simcheck: -trace needs a single-run selection: -scenario NAME -policy POLICY (and -n 1 for random)")
+		os.Exit(2)
+	}
+
 	sum := check.Explore(scens, policies, *n, *seed, func(r check.Result) {
 		if r.Failed() {
 			fmt.Printf("FAIL %s: %d violation(s)\n", r.Schedule(), len(r.Violations))
@@ -76,9 +139,30 @@ func main() {
 			for _, cmd := range r.Repro() {
 				fmt.Printf("     repro: %s\n", cmd)
 			}
-		} else if *verbose {
+		} else if *verbose || *metrics {
 			fmt.Printf("ok   %-40s events=%-6d msgs=%-5d t=%.6gs\n",
 				r.Schedule(), r.Events, r.Messages, r.FinalTime)
+		}
+		if *metrics {
+			fmt.Printf("     %s\n", utilLine(r.Resources, r.FinalTime))
+		}
+		if *traceOut != "" && r.Log != nil {
+			f, err := os.Create(*traceOut)
+			if err == nil {
+				bw := bufio.NewWriter(f)
+				err = trace.WriteChromeTrace(bw, r.Log.ChromeEvents())
+				if err == nil {
+					err = bw.Flush()
+				}
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "simcheck: -trace %s: %v\n", *traceOut, err)
+				os.Exit(1)
+			}
+			fmt.Printf("     [wrote Chrome trace %s]\n", *traceOut)
 		}
 	})
 

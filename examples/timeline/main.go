@@ -26,6 +26,7 @@ func main() {
 	p := flag.Int("p", 2, "mesh edge")
 	ndup := flag.Int("ndup", 4, "N_DUP")
 	variantName := flag.String("variant", "optimized", "original|baseline|optimized")
+	traceOut := flag.String("trace", "", "write all ranks' phase spans as Chrome trace JSON to this file")
 	flag.Parse()
 
 	variant := map[string]core.Variant{
@@ -82,4 +83,22 @@ func main() {
 		}
 	}
 	filtered.Render(os.Stdout, 70)
+
+	// The text chart shows four ranks; the Chrome export carries every
+	// rank's spans so the full pipeline can be studied interactively in
+	// Perfetto (ui.perfetto.dev) or chrome://tracing.
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		err = rec.WriteChromeTrace(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n[wrote Chrome trace %s — open in Perfetto or chrome://tracing]\n", *traceOut)
+	}
 }

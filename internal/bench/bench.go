@@ -13,13 +13,21 @@ package bench
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"commoverlap/internal/core"
 	"commoverlap/internal/mesh"
+	"commoverlap/internal/metrics"
 	"commoverlap/internal/mpi"
 	"commoverlap/internal/sim"
 	"commoverlap/internal/simnet"
 )
+
+// Metrics, when non-nil, is installed as the virtual-time metrics sink of
+// every simulated job the experiments run (overlapbench -metrics sets it).
+// Experiments run jobs sequentially, so one registry can accumulate across
+// a whole experiment without races.
+var Metrics *metrics.Registry
 
 // System names a molecular test system from the paper (Table I): the
 // matrix dimension is all the kernel needs.
@@ -41,21 +49,13 @@ var Systems = []System{
 // job runs body on a fresh simulated world and returns an error on
 // simulation deadlock.
 func job(nodes, ranks int, placement []int, body func(p *mpi.Proc)) error {
-	eng := sim.NewEngine()
-	net, err := simnet.New(eng, simnet.DefaultConfig(nodes))
-	if err != nil {
-		return err
-	}
-	w, err := mpi.NewWorld(net, ranks, placement)
-	if err != nil {
-		return err
-	}
-	w.Launch(body)
-	return eng.Run()
+	_, err := jobWorld(nodes, ranks, placement, body)
+	return err
 }
 
-// jobNet is job with access to the fabric for byte accounting.
-func jobNet(nodes, ranks int, placement []int, body func(p *mpi.Proc)) (*simnet.Net, error) {
+// jobWorld is job with access to the finished world, for byte accounting,
+// resource-utilization snapshots and the package metrics sink.
+func jobWorld(nodes, ranks int, placement []int, body func(p *mpi.Proc)) (*mpi.World, error) {
 	eng := sim.NewEngine()
 	net, err := simnet.New(eng, simnet.DefaultConfig(nodes))
 	if err != nil {
@@ -65,8 +65,57 @@ func jobNet(nodes, ranks int, placement []int, body func(p *mpi.Proc)) (*simnet.
 	if err != nil {
 		return nil, err
 	}
+	if Metrics != nil {
+		w.SetMetrics(Metrics)
+	}
 	w.Launch(body)
-	return net, eng.Run()
+	return w, eng.Run()
+}
+
+// UtilStats summarizes one job's resource occupancy over its elapsed
+// virtual time, grouped into the three lane classes the fabric models:
+// inter-node wires (node egress), per-rank CPU lanes (software costs:
+// staging, posting, reduction arithmetic) and per-rank NIC lanes (transfer
+// progress). Each is the mean busy fraction over that class, in [0, 1].
+type UtilStats struct {
+	Elapsed float64 // virtual seconds the job ran
+	Wire    float64 // mean busy fraction of node egress wires
+	CPU     float64 // mean busy fraction of rank CPU lanes
+	NIC     float64 // mean busy fraction of rank NIC lanes
+}
+
+// utilization classifies the world's post-run resource snapshots by lane
+// and averages their busy fractions. Call after Engine.Run.
+func utilization(w *mpi.World) UtilStats {
+	u := UtilStats{Elapsed: w.Eng.Now()}
+	if u.Elapsed <= 0 {
+		return u
+	}
+	var nWire, nCPU, nNIC int
+	for _, s := range w.ResourceSnapshots() {
+		f := s.Utilization(u.Elapsed)
+		switch {
+		case strings.HasSuffix(s.Name, ".egress"):
+			u.Wire += f
+			nWire++
+		case strings.HasSuffix(s.Name, ".cpu"):
+			u.CPU += f
+			nCPU++
+		case strings.HasSuffix(s.Name, ".nic"):
+			u.NIC += f
+			nNIC++
+		}
+	}
+	if nWire > 0 {
+		u.Wire /= float64(nWire)
+	}
+	if nCPU > 0 {
+		u.CPU /= float64(nCPU)
+	}
+	if nNIC > 0 {
+		u.NIC /= float64(nNIC)
+	}
+	return u
 }
 
 // KernelRun measures one SymmSquareCube invocation.
@@ -77,6 +126,11 @@ type KernelRun struct {
 	TFlops   float64
 	Volume   int64 // total inter-node bytes
 	Nodes    int
+	// WireUtil is the mean busy fraction of the node egress wires over the
+	// run, PeakWireUtil the busiest single wire — how hard the overlap
+	// variants actually drive the network.
+	WireUtil     float64
+	PeakWireUtil float64
 }
 
 // Kernel runs a variant at (n, mesh edge p, ndup, ppn) with phantom
@@ -94,7 +148,7 @@ func Kernel25(q, c, n, ndup, ppn int) (KernelRun, error) {
 	nodes := mesh.NodesNeeded(dims.Size(), ppn)
 	var out KernelRun
 	out.Nodes = nodes
-	net, err := jobNet(nodes, dims.Size(), mesh.NaturalPlacement(dims.Size(), ppn), func(pr *mpi.Proc) {
+	w, err := jobWorld(nodes, dims.Size(), mesh.NaturalPlacement(dims.Size(), ppn), func(pr *mpi.Proc) {
 		env, err := core.NewEnv25(pr, dims, core.Config{N: n, NDup: ndup, PPN: ppn})
 		if err != nil {
 			panic(err)
@@ -106,7 +160,7 @@ func Kernel25(q, c, n, ndup, ppn int) (KernelRun, error) {
 	if err != nil {
 		return out, err
 	}
-	finish(&out, n, net)
+	finish(&out, n, w)
 	return out, nil
 }
 
@@ -114,7 +168,7 @@ func kernelDims(run func(*core.Env) core.Result, dims mesh.Dims, n, ndup, ppn in
 	nodes := mesh.NodesNeeded(dims.Size(), ppn)
 	var out KernelRun
 	out.Nodes = nodes
-	net, err := jobNet(nodes, dims.Size(), mesh.NaturalPlacement(dims.Size(), ppn), func(pr *mpi.Proc) {
+	w, err := jobWorld(nodes, dims.Size(), mesh.NaturalPlacement(dims.Size(), ppn), func(pr *mpi.Proc) {
 		env, err := core.NewEnv(pr, dims, core.Config{N: n, NDup: ndup, PPN: ppn})
 		if err != nil {
 			panic(err)
@@ -126,7 +180,7 @@ func kernelDims(run func(*core.Env) core.Result, dims mesh.Dims, n, ndup, ppn in
 	if err != nil {
 		return out, err
 	}
-	finish(&out, n, net)
+	finish(&out, n, w)
 	return out, nil
 }
 
@@ -142,9 +196,10 @@ func accumulate(out *KernelRun, res core.Result) {
 	}
 }
 
-func finish(out *KernelRun, n int, net *simnet.Net) {
+func finish(out *KernelRun, n int, w *mpi.World) {
 	out.TFlops = core.KernelFlops(n) / out.Time / 1e12
-	out.Volume = net.TotalWireBytes()
+	out.Volume = w.Net.TotalWireBytes()
+	out.WireUtil, out.PeakWireUtil = w.Net.Utilization(w.Eng.Now())
 }
 
 func fprintf(w io.Writer, format string, args ...any) {

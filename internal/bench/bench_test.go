@@ -1,12 +1,15 @@
 package bench
 
 import (
+	"fmt"
 	"io"
 	"strings"
 	"testing"
 
 	"commoverlap/internal/core"
+	"commoverlap/internal/metrics"
 	"commoverlap/internal/mpi"
+	"commoverlap/internal/trace"
 )
 
 func TestFig3Shape(t *testing.T) {
@@ -69,6 +72,24 @@ func TestFig5Shape(t *testing.T) {
 		t.Errorf("4-PPN reduce (%.0f) should be >= 2x blocking (%.0f)",
 			res.BW[1][MultiPPNOverlap][last], res.BW[1][Blocking][last])
 	}
+	// The point of overlapping communication with communication: the
+	// overlapped variants keep the wires busier than the blocking one.
+	for opi, op := range []string{"bcast", "reduce"} {
+		blk := res.Util[opi][Blocking]
+		if blk.Elapsed <= 0 || blk.Wire <= 0 {
+			t.Fatalf("%s: blocking case has no utilization data: %+v", op, blk)
+		}
+		for _, cc := range []CollCase{NonblockingOverlap, MultiPPNOverlap} {
+			u := res.Util[opi][cc]
+			if u.Wire <= blk.Wire {
+				t.Errorf("%s %s: wire utilization %.1f%% not above blocking %.1f%%",
+					op, cc, 100*u.Wire, 100*blk.Wire)
+			}
+			if u.Wire > 1+1e-9 || u.CPU > 1+1e-9 || u.NIC > 1+1e-9 {
+				t.Errorf("%s %s: utilization exceeds 100%%: %+v", op, cc, u)
+			}
+		}
+	}
 }
 
 func TestFig6Shape(t *testing.T) {
@@ -114,6 +135,41 @@ func TestFig6Shape(t *testing.T) {
 				t.Errorf("PPN entry has no completion: %+v", e)
 			}
 		}
+	}
+	// Per-case utilization rides along, and the overlap cases beat the
+	// blocking 8 MB reference on wire busy fraction.
+	for _, utils := range [][]CaseUtil{res.ReduceUtil, res.BcastUtil} {
+		byCase := map[string]UtilStats{}
+		for _, cu := range utils {
+			byCase[cu.Case] = cu.Util
+		}
+		blk, ok := byCase["blocking 8MB"]
+		if !ok || blk.Wire <= 0 {
+			t.Fatalf("no blocking 8MB utilization in %+v", utils)
+		}
+		for _, c := range []string{"nonblk overlap N_DUP=4", "4 PPN overlap"} {
+			if u, ok := byCase[c]; !ok || u.Wire <= blk.Wire {
+				t.Errorf("%s wire utilization %.1f%% not above blocking %.1f%%",
+					c, 100*u.Wire, 100*blk.Wire)
+			}
+		}
+	}
+	// The full timeline renders (all four overlapped parts included) and
+	// round-trips through the Chrome trace exporter.
+	var gantt strings.Builder
+	RenderTimeline(&gantt, res.Reduce)
+	for d := 1; d <= 4; d++ {
+		want := fmt.Sprintf("#%d (2MB)", d)
+		if !strings.Contains(gantt.String(), want) {
+			t.Errorf("timeline render missing overlapped part %q:\n%s", want, gantt.String())
+		}
+	}
+	var sb strings.Builder
+	if err := res.WriteChromeTrace(&sb); err != nil {
+		t.Fatalf("chrome export: %v", err)
+	}
+	if err := trace.ValidateChromeTrace(strings.NewReader(sb.String())); err != nil {
+		t.Errorf("exported fig6 trace invalid: %v", err)
 	}
 }
 
@@ -238,6 +294,36 @@ func TestKernelHelpers(t *testing.T) {
 	}
 	if kr.CommTime <= 0 {
 		t.Errorf("comm time %g", kr.CommTime)
+	}
+	if kr.WireUtil <= 0 || kr.WireUtil > 1 {
+		t.Errorf("mean wire utilization %g outside (0,1]", kr.WireUtil)
+	}
+	if kr.PeakWireUtil < kr.WireUtil || kr.PeakWireUtil > 1 {
+		t.Errorf("peak wire utilization %g vs mean %g", kr.PeakWireUtil, kr.WireUtil)
+	}
+}
+
+// TestMetricsSink checks the overlapbench -metrics plumbing: installing a
+// registry makes experiment jobs feed it, and the feed is deterministic.
+func TestMetricsSink(t *testing.T) {
+	run := func() string {
+		Metrics = &metrics.Registry{}
+		defer func() { Metrics = nil }()
+		if _, err := Kernel(core.Optimized, 1000, 2, 2, 1); err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		Metrics.WriteText(&sb)
+		return sb.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("metrics not deterministic across identical runs:\n%s\nvs\n%s", a, b)
+	}
+	for _, want := range []string{"net.wire.bytes", "mpi.coll", "mpi.msgs"} {
+		if !strings.Contains(a, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, a)
+		}
 	}
 }
 

@@ -69,12 +69,14 @@ func (r Fig6Result) WriteCSV(w io.Writer) error {
 
 // Table1CSV emits the variant-comparison table.
 func Table1CSV(w io.Writer, rows []Table1Row) error {
-	if _, err := fmt.Fprintln(w, "system,n,alg3_tflops,alg4_tflops,alg5_tflops,speedup"); err != nil {
+	if _, err := fmt.Fprintln(w,
+		"system,n,alg3_tflops,alg4_tflops,alg5_tflops,speedup,alg3_wire_pct,alg4_wire_pct,alg5_wire_pct"); err != nil {
 		return err
 	}
 	for _, r := range rows {
-		fmt.Fprintf(w, "%s,%d,%.3f,%.3f,%.3f,%.3f\n",
-			r.System.Name, r.System.N, r.TFlops[0], r.TFlops[1], r.TFlops[2], r.Speedup)
+		fmt.Fprintf(w, "%s,%d,%.3f,%.3f,%.3f,%.3f,%.1f,%.1f,%.1f\n",
+			r.System.Name, r.System.N, r.TFlops[0], r.TFlops[1], r.TFlops[2], r.Speedup,
+			100*r.WireUtil[0], 100*r.WireUtil[1], 100*r.WireUtil[2])
 	}
 	return nil
 }

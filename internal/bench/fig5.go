@@ -40,6 +40,9 @@ type Fig5Result struct {
 	Sizes []int64
 	// BW[op][case][i] in MB/s for Sizes[i]; op 0 = bcast, 1 = reduce.
 	BW [2][3][]float64
+	// Util[op][case] is the resource utilization of the largest-size run —
+	// the regime where overlap pays — with the same op indexing as BW.
+	Util [2][3]UtilStats
 }
 
 // Fig5Sizes is the paper's size axis (16 B to 16 MB).
@@ -62,25 +65,44 @@ func Fig5(w io.Writer) (Fig5Result, error) {
 		}
 	}
 	fprintf(w, "\n")
-	for _, size := range res.Sizes {
+	for i, size := range res.Sizes {
 		fprintf(w, "%10d", size)
 		for opi, op := range ops {
 			for c := Blocking; c <= MultiPPNOverlap; c++ {
-				bw, err := CollectiveBandwidth(op, c, size)
+				bw, util, err := collectiveRun(op, c, size)
 				if err != nil {
 					return res, err
 				}
 				res.BW[opi][c] = append(res.BW[opi][c], bw/1e6)
+				if i == len(res.Sizes)-1 {
+					res.Util[opi][c] = util
+				}
 				fprintf(w, "  %-36.0f", bw/1e6)
 			}
 		}
 		fprintf(w, "\n")
+	}
+	last := res.Sizes[len(res.Sizes)-1]
+	fprintf(w, "\nResource utilization at %d B (%% busy over each case's run):\n", last)
+	fprintf(w, "%-10s %-30s %8s %8s %8s\n", "op", "case", "wire", "cpu", "nic")
+	for opi, op := range ops {
+		for c := Blocking; c <= MultiPPNOverlap; c++ {
+			u := res.Util[opi][c]
+			fprintf(w, "%-10s %-30s %7.1f%% %7.1f%% %7.1f%%\n",
+				op, c, 100*u.Wire, 100*u.CPU, 100*u.NIC)
+		}
 	}
 	return res, nil
 }
 
 // CollectiveBandwidth measures one (op, case, total size) cell of Fig. 5.
 func CollectiveBandwidth(op string, cc CollCase, total int64) (float64, error) {
+	bw, _, err := collectiveRun(op, cc, total)
+	return bw, err
+}
+
+// collectiveRun measures one Fig. 5 cell and the run's lane utilization.
+func collectiveRun(op string, cc CollCase, total int64) (float64, UtilStats, error) {
 	p := fig5Nodes
 	ppn, ndup := 1, 1
 	switch cc {
@@ -91,7 +113,7 @@ func CollectiveBandwidth(op string, cc CollCase, total int64) (float64, error) {
 	}
 	size := p * ppn
 	var elapsed float64
-	err := job(p, size, mesh4Placement(p, ppn), func(pr *mpi.Proc) {
+	w, err := jobWorld(p, size, mesh4Placement(p, ppn), func(pr *mpi.Proc) {
 		// Column communicators: one rank per node each (paper Fig. 4).
 		col := pr.World().Split(pr.Rank()%ppn, pr.Rank()/ppn)
 		comms := col.DupN(ndup)
@@ -116,10 +138,10 @@ func CollectiveBandwidth(op string, cc CollCase, total int64) (float64, error) {
 		}
 	})
 	if err != nil {
-		return 0, err
+		return 0, UtilStats{}, err
 	}
 	vol := 2 * float64(p-1) / float64(p) * float64(total)
-	return vol / elapsed, nil
+	return vol / elapsed, utilization(w), nil
 }
 
 // mesh4Placement puts ranks on nodes so that world rank r lives on node

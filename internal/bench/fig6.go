@@ -20,10 +20,21 @@ type TimelineEntry struct {
 	Done  float64 // operation complete (wait return)
 }
 
-// Fig6Result holds the reduction and broadcast timelines.
+// CaseUtil is the lane utilization of one Fig. 6 case's job.
+type CaseUtil struct {
+	Case string
+	Util UtilStats
+}
+
+// Fig6Result holds the reduction and broadcast timelines and the lane
+// utilization of each case's run.
 type Fig6Result struct {
 	Reduce []TimelineEntry
 	Bcast  []TimelineEntry
+	// ReduceUtil and BcastUtil hold one entry per distinct case, in the
+	// order the cases ran.
+	ReduceUtil []CaseUtil
+	BcastUtil  []CaseUtil
 }
 
 // Fig6 reproduces the paper's timing diagram: 8 MB reductions and
@@ -34,6 +45,7 @@ func Fig6(w io.Writer) (Fig6Result, error) {
 	const total = 8 << 20
 	for _, op := range []string{"reduce", "bcast"} {
 		var entries []TimelineEntry
+		var utils []CaseUtil
 		// Blocking and nonblocking single-shot references.
 		for _, ref := range []struct {
 			label string
@@ -45,28 +57,31 @@ func Fig6(w io.Writer) (Fig6Result, error) {
 			{"blocking 2MB", total / 4, false},
 			{"nonblocking 2MB", total / 4, true},
 		} {
-			es, err := timelineSingle(op, ref.label, ref.bytes, ref.nb)
+			es, u, err := timelineSingle(op, ref.label, ref.bytes, ref.nb)
 			if err != nil {
 				return res, err
 			}
 			entries = append(entries, es...)
+			utils = append(utils, CaseUtil{Case: ref.label, Util: u})
 		}
 		// Nonblocking overlap: four 2 MB operations on duplicated comms.
-		es, err := timelineOverlap(op)
+		es, u, err := timelineOverlap(op)
 		if err != nil {
 			return res, err
 		}
 		entries = append(entries, es...)
+		utils = append(utils, CaseUtil{Case: es[0].Case, Util: u})
 		// 4-PPN overlap: four processes per node, each a blocking 2 MB op.
-		es, err = timelinePPN(op)
+		es, u, err = timelinePPN(op)
 		if err != nil {
 			return res, err
 		}
 		entries = append(entries, es...)
+		utils = append(utils, CaseUtil{Case: es[0].Case, Util: u})
 		if op == "reduce" {
-			res.Reduce = entries
+			res.Reduce, res.ReduceUtil = entries, utils
 		} else {
-			res.Bcast = entries
+			res.Bcast, res.BcastUtil = entries, utils
 		}
 		fprintf(w, "Figure 6 (%s, 4 nodes): post/ready/done in microseconds on node 0\n", op)
 		for _, e := range entries {
@@ -78,6 +93,13 @@ func Fig6(w io.Writer) (Fig6Result, error) {
 			RenderTimeline(w, entries)
 			fprintf(w, "\n")
 		}
+		fprintf(w, "Resource utilization per case (%% busy over the case's run):\n")
+		fprintf(w, "  %-28s %8s %8s %8s\n", "case", "wire", "cpu", "nic")
+		for _, cu := range utils {
+			fprintf(w, "  %-28s %7.1f%% %7.1f%% %7.1f%%\n",
+				cu.Case, 100*cu.Util.Wire, 100*cu.Util.CPU, 100*cu.Util.NIC)
+		}
+		fprintf(w, "\n")
 	}
 	return res, nil
 }
@@ -86,7 +108,13 @@ func Fig6(w io.Writer) (Fig6Result, error) {
 // of the paper's Fig. 6): for each operation, the posting call is the
 // leading segment and the remaining in-flight time the trailing one.
 func RenderTimeline(w io.Writer, entries []TimelineEntry) {
-	var rec trace.Recorder
+	timelineRecorder(entries).Render(w, 72)
+}
+
+// timelineRecorder replays the entries into a trace recorder, one track
+// per bar, posting call and in-flight time as separate spans.
+func timelineRecorder(entries []TimelineEntry) *trace.Recorder {
+	rec := &trace.Recorder{}
 	for i, e := range entries {
 		name := fmt.Sprintf("%.10s %s", e.Case, e.Label)
 		if e.Ready > e.Post {
@@ -100,12 +128,22 @@ func RenderTimeline(w io.Writer, entries []TimelineEntry) {
 			rec.Point(i, name+" done", e.Done)
 		}
 	}
-	rec.Render(w, 72)
+	return rec
 }
 
-func timelineSingle(op, label string, bytes int64, nonblocking bool) ([]TimelineEntry, error) {
+// WriteChromeTrace exports both timelines as Chrome trace-event JSON
+// (load in Perfetto or chrome://tracing). Every bar becomes its own
+// process track, reduce first, broadcast after.
+func (r Fig6Result) WriteChromeTrace(w io.Writer) error {
+	entries := make([]TimelineEntry, 0, len(r.Reduce)+len(r.Bcast))
+	entries = append(entries, r.Reduce...)
+	entries = append(entries, r.Bcast...)
+	return timelineRecorder(entries).WriteChromeTrace(w)
+}
+
+func timelineSingle(op, label string, bytes int64, nonblocking bool) ([]TimelineEntry, UtilStats, error) {
 	var entry TimelineEntry
-	err := job(fig5Nodes, fig5Nodes, nil, func(pr *mpi.Proc) {
+	w, err := jobWorld(fig5Nodes, fig5Nodes, nil, func(pr *mpi.Proc) {
 		c := pr.World()
 		c.Barrier()
 		t0 := pr.Now()
@@ -138,13 +176,13 @@ func timelineSingle(op, label string, bytes int64, nonblocking bool) ([]Timeline
 			}
 		}
 	})
-	return []TimelineEntry{entry}, err
+	return []TimelineEntry{entry}, jobUtil(w, err), err
 }
 
-func timelineOverlap(op string) ([]TimelineEntry, error) {
+func timelineOverlap(op string) ([]TimelineEntry, UtilStats, error) {
 	const ndup = 4
 	entries := make([]TimelineEntry, ndup)
-	err := job(fig5Nodes, fig5Nodes, nil, func(pr *mpi.Proc) {
+	w, err := jobWorld(fig5Nodes, fig5Nodes, nil, func(pr *mpi.Proc) {
 		c := pr.World()
 		comms := c.DupN(ndup)
 		c.Barrier()
@@ -174,13 +212,13 @@ func timelineOverlap(op string) ([]TimelineEntry, error) {
 			}
 		}
 	})
-	return entries, err
+	return entries, jobUtil(w, err), err
 }
 
-func timelinePPN(op string) ([]TimelineEntry, error) {
+func timelinePPN(op string) ([]TimelineEntry, UtilStats, error) {
 	const ppn = 4
 	entries := make([]TimelineEntry, ppn)
-	err := job(fig5Nodes, fig5Nodes*ppn, mesh4Placement(fig5Nodes, ppn), func(pr *mpi.Proc) {
+	w, err := jobWorld(fig5Nodes, fig5Nodes*ppn, mesh4Placement(fig5Nodes, ppn), func(pr *mpi.Proc) {
 		col := pr.World().Split(pr.Rank()%ppn, pr.Rank()/ppn)
 		pr.World().Barrier()
 		t0 := pr.Now()
@@ -200,5 +238,13 @@ func timelinePPN(op string) ([]TimelineEntry, error) {
 			}
 		}
 	})
-	return entries, err
+	return entries, jobUtil(w, err), err
+}
+
+// jobUtil guards utilization against a failed job (nil world).
+func jobUtil(w *mpi.World, err error) UtilStats {
+	if err != nil || w == nil {
+		return UtilStats{}
+	}
+	return utilization(w)
 }

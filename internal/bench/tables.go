@@ -19,6 +19,10 @@ type Table1Row struct {
 	System  System
 	TFlops  [3]float64 // Original, Baseline, Optimized(N_DUP=4)
 	Speedup float64    // Optimized over Baseline
+	// WireUtil is each variant's mean egress-wire busy fraction — the
+	// overlap mechanism should show up as the optimized kernel driving the
+	// wires harder over its (shorter) run.
+	WireUtil [3]float64
 }
 
 // Table1 reproduces Table I: performance of the three SymmSquareCube
@@ -28,7 +32,8 @@ func Table1(w io.Writer, systems []System) ([]Table1Row, error) {
 		systems = Systems
 	}
 	fprintf(w, "Table I: SymmSquareCube performance (TFlops), %d^3 mesh, PPN=1\n", table1MeshEdge)
-	fprintf(w, "%-10s %-6s %8s %8s %8s %14s\n", "system", "N", "alg3", "alg4", "alg5", "alg5/alg4")
+	fprintf(w, "%-10s %-6s %8s %8s %8s %14s %20s\n",
+		"system", "N", "alg3", "alg4", "alg5", "alg5/alg4", "wire% a3/a4/a5")
 	rows := make([]Table1Row, 0, len(systems))
 	for _, sys := range systems {
 		var row Table1Row
@@ -43,11 +48,13 @@ func Table1(w io.Writer, systems []System) ([]Table1Row, error) {
 				return rows, err
 			}
 			row.TFlops[vi] = kr.TFlops
+			row.WireUtil[vi] = kr.WireUtil
 		}
 		row.Speedup = row.TFlops[2] / row.TFlops[1]
 		rows = append(rows, row)
-		fprintf(w, "%-10s %-6d %8.2f %8.2f %8.2f %14.2f\n",
-			sys.Name, sys.N, row.TFlops[0], row.TFlops[1], row.TFlops[2], row.Speedup)
+		fprintf(w, "%-10s %-6d %8.2f %8.2f %8.2f %14.2f %6.1f/%5.1f/%5.1f\n",
+			sys.Name, sys.N, row.TFlops[0], row.TFlops[1], row.TFlops[2], row.Speedup,
+			100*row.WireUtil[0], 100*row.WireUtil[1], 100*row.WireUtil[2])
 	}
 	return rows, nil
 }

@@ -11,6 +11,9 @@
 //   - resource-fifo: every resource reservation starts no earlier than its
 //     ready time and no earlier than the previous reservation's completion
 //     (FIFO non-overlap).
+//   - resource-accounting: every resource's post-run utilization snapshot
+//     is consistent — counters nonnegative, busy time inside the active
+//     window, no reservation outliving the run, busy + idle == elapsed.
 //   - msg-admission: per (comm, src, dst), message envelopes are admitted in
 //     send order, with contiguous sequence numbers from zero.
 //   - non-overtaking: per (comm, src, dst, tag), receives match in send
@@ -80,6 +83,13 @@ type Report struct {
 	Events    int     // engine events dispatched
 	Messages  int     // message-protocol records traced
 	FinalTime float64 // virtual clock when the job finished
+	// Resources holds the post-run accounting snapshot of every FIFO
+	// resource the job touched, for utilization reporting (simcheck
+	// -metrics) and the resource-accounting invariant.
+	Resources []sim.ResourceStats
+	// Log is the run's full message-protocol trace (simcheck -trace
+	// exports it as Chrome trace JSON).
+	Log *trace.MsgLog
 }
 
 // Failed reports whether any invariant was violated.
@@ -147,11 +157,14 @@ func RunScenario(sc Scenario, opts Options) Report {
 		col.addf("teardown", "%v", err)
 	}
 	checkMessageOrder(&log, col)
+	resources := checkResourceAccounting(w, eng.Now(), col)
 
 	return Report{
 		Violations: col.violations,
 		Events:     *events,
 		Messages:   log.Len(),
 		FinalTime:  eng.Now(),
+		Resources:  resources,
+		Log:        &log,
 	}
 }

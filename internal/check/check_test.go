@@ -156,6 +156,51 @@ func TestReplayDeterminism(t *testing.T) {
 	}
 }
 
+// TestResourceAccountingUnderAdversarialSchedules pins the utilization
+// invariants on the paper's core overlap pattern: whatever order the
+// adversarial and seeded schedules dispatch tied events in, every
+// resource's accounting snapshot must stay consistent (busy + idle ==
+// elapsed, nothing negative, nothing outliving the run) — the
+// resource-accounting invariant armed in RunScenario — and the fabric
+// must show actual wire traffic.
+func TestResourceAccountingUnderAdversarialSchedules(t *testing.T) {
+	sc, ok := Find("pipeline-ndup")
+	if !ok {
+		t.Fatal("pipeline-ndup missing from catalog")
+	}
+	ties := []struct {
+		name string
+		tie  sim.TieBreak
+	}{
+		{"fifo", nil},
+		{"lifo", sim.LIFO()},
+		{"random-3", sim.Seeded(3)},
+		{"random-17", sim.Seeded(17)},
+	}
+	for _, tb := range ties {
+		rep := RunScenario(sc, Options{Tie: tb.tie})
+		if rep.Failed() {
+			t.Errorf("%s: violations %v", tb.name, rep.Violations)
+			continue
+		}
+		if len(rep.Resources) == 0 {
+			t.Fatalf("%s: no resource snapshots collected", tb.name)
+		}
+		var sawWireTraffic bool
+		for _, s := range rep.Resources {
+			if s.Utilization(rep.FinalTime) > 1+1e-9 {
+				t.Errorf("%s: %s utilization %g > 1", tb.name, s.Name, s.Utilization(rep.FinalTime))
+			}
+			if s.BusyTime > 0 && strings.Contains(s.Name, "egress") {
+				sawWireTraffic = true
+			}
+		}
+		if !sawWireTraffic {
+			t.Errorf("%s: overlap scenario moved no bytes over any egress wire", tb.name)
+		}
+	}
+}
+
 // TestScenarioFailurePlumbing covers the two failure channels a scenario
 // body has: the fail callback and a panic.
 func TestScenarioFailurePlumbing(t *testing.T) {

@@ -44,6 +44,42 @@ func watchResources(w *mpi.World, col *collector) {
 	})
 }
 
+// checkResourceAccounting snapshots every resource after the run and
+// asserts the accounting invariants that must hold on every schedule:
+// counters are never negative, busy time fits inside the resource's active
+// window (reservations never overlap), no reservation outlives the run,
+// and busy + idle partitions the elapsed window exactly. It returns the
+// snapshots so callers can report utilization.
+func checkResourceAccounting(w *mpi.World, elapsed float64, col *collector) []sim.ResourceStats {
+	snaps := w.ResourceSnapshots()
+	for _, s := range snaps {
+		eps := 1e-9 * (1 + elapsed)
+		switch {
+		case s.BusyTime < 0 || s.QueueWait < 0 || s.PeakBacklog < 0:
+			col.addf("resource-accounting",
+				"%s: negative counter (busy %g, wait %g, backlog %g)",
+				s.Name, s.BusyTime, s.QueueWait, s.PeakBacklog)
+		case s.Reservations == 0 && (s.BusyTime != 0 || s.QueueWait != 0 || s.LastDone != 0):
+			col.addf("resource-accounting",
+				"%s: counters without reservations (%+v)", s.Name, s)
+		case s.BusyTime > s.LastDone-s.FirstStart+eps:
+			col.addf("resource-accounting",
+				"%s: busy %g exceeds active window [%g,%g] — reservations overlapped",
+				s.Name, s.BusyTime, s.FirstStart, s.LastDone)
+		case s.LastDone > elapsed+eps:
+			col.addf("resource-accounting",
+				"%s: reservation ends at %g after the run finished at %g",
+				s.Name, s.LastDone, elapsed)
+		case s.BusyTime+s.IdleTime(elapsed) > elapsed+eps ||
+			s.BusyTime+s.IdleTime(elapsed) < elapsed-eps:
+			col.addf("resource-accounting",
+				"%s: busy %g + idle %g != elapsed %g",
+				s.Name, s.BusyTime, s.IdleTime(elapsed), elapsed)
+		}
+	}
+	return snaps
+}
+
 // pairID names one directed (comm, src, dst) message stream; flowID narrows
 // it to one tag, the granularity at which MPI forbids overtaking.
 type pairID struct{ ctx, src, dst int }

@@ -17,6 +17,7 @@ import (
 // spawnColl runs schedule in a child process and returns a request that
 // completes when the rank's participation in the collective finishes.
 func (c *Comm) spawnColl(name string, schedule func(sp *sim.Proc)) *Request {
+	c.p.w.Metrics.Inc("mpi.coll", name)
 	req := c.p.w.newRequest(c.p.sp, name, c.p.rank, c.ctx)
 	c.p.w.Eng.Spawn(name, func(sp *sim.Proc) {
 		schedule(sp)
@@ -79,6 +80,7 @@ const testOverhead = 0.1e-6
 func (p *Proc) PollWait(req *Request, interval float64) {
 	deadline := p.sp.Now() + p.w.MaxPollTime
 	for !req.Test() {
+		p.w.Metrics.Inc("mpi.poll.spins", "")
 		p.w.Net.ChargeCPU(p.sp, p.st.ep, testOverhead)
 		if req.Test() {
 			return

@@ -95,6 +95,8 @@ func (c *Comm) isendOn(sp *sim.Proc, dest, tag int, buf Buffer) *Request {
 	w.emit(trace.MsgPost, m, dstWorld)
 
 	if size <= w.Net.Cfg.EagerLimit {
+		w.Metrics.Inc("mpi.msgs", "eager")
+		w.Metrics.Add("mpi.msg.bytes", "eager", float64(size))
 		pay := buf.clone()
 		inj, del := w.Net.Transfer(st.ep, dst.ep, size)
 		inj.OnFire(func() { req.done.Fire() })
@@ -105,6 +107,8 @@ func (c *Comm) isendOn(sp *sim.Proc, dest, tag int, buf Buffer) *Request {
 		return req
 	}
 
+	w.Metrics.Inc("mpi.msgs", "rndv")
+	w.Metrics.Add("mpi.msg.bytes", "rndv", float64(size))
 	m.rndv = &rndvInfo{srcWorld: st.rank, srcBuf: buf, sendReq: req}
 	_, rtsDel := w.Net.Transfer(st.ep, dst.ep, 0)
 	rtsDel.OnFire(func() { dst.deliver(m) })

@@ -14,8 +14,10 @@ func RunActive(p *Proc, comm *Comm, active bool, poll float64, body func()) {
 	}
 	if !active {
 		p.w.parks++
+		p.w.Metrics.Inc("mpi.parks", "")
 		p.PollWait(comm.Ibarrier(), poll)
 		p.w.wakes++
+		p.w.Metrics.Inc("mpi.wakes", "")
 		return
 	}
 	body()

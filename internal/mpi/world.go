@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 
+	"commoverlap/internal/metrics"
 	"commoverlap/internal/sim"
 	"commoverlap/internal/simnet"
 	"commoverlap/internal/trace"
@@ -51,6 +52,13 @@ type World struct {
 	// events); exceeding the bound panics with a diagnosis instead. Zero
 	// disables the guard.
 	MaxPollTime float64
+
+	// Metrics, when non-nil, receives the library's virtual-time counters:
+	// eager vs rendezvous message counts and bytes, per-kind collective
+	// posts, MPI_Test poll spins, and park/wake events. Install it with
+	// SetMetrics, which also points the fabric's feeds at the same
+	// registry. A nil registry costs nothing.
+	Metrics *metrics.Registry
 
 	// UnsafeNoMsgOrder disables the receiver-side in-order envelope
 	// admission, reverting message matching to raw transport-arrival order.
@@ -144,6 +152,25 @@ func (w *World) emit(kind trace.MsgKind, m *inflight, dstWorld int) {
 		Ctx: m.ctx, Src: m.src, Dst: dstWorld, Tag: m.tag,
 		Seq: m.seq, Bytes: m.bytes,
 	})
+}
+
+// SetMetrics installs one registry as the sink for both the MPI library's
+// and the underlying fabric's virtual-time metrics. Install it before
+// Launch; the simulation's cooperative execution keeps the feeds
+// deterministic.
+func (w *World) SetMetrics(reg *metrics.Registry) {
+	w.Metrics = reg
+	w.Net.Metrics = reg
+}
+
+// ResourceSnapshots returns the accounting snapshot of every FIFO resource
+// the job touches (fabric wires and buses plus each rank's CPU and NIC
+// lanes), in visiting order. Call it after Engine.Run to compute
+// per-resource utilization over the run's elapsed virtual time.
+func (w *World) ResourceSnapshots() []sim.ResourceStats {
+	var out []sim.ResourceStats
+	w.EachResource(func(r *sim.Resource) { out = append(out, r.Snapshot()) })
+	return out
 }
 
 // PendingRequests reports the number of posted requests that have not

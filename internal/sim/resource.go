@@ -13,12 +13,60 @@ package sim
 type Resource struct {
 	Name string
 	free float64 // next time the resource is idle
-	busy float64 // cumulative occupied time, for utilization reporting
+
+	stats ResourceStats
 
 	// Audit, when non-nil, observes every reservation as (ready, start,
 	// done). Checkers install it to assert the FIFO non-overlap invariant
 	// (start >= ready, start >= previous done) from outside the package.
 	Audit func(ready, start, done float64)
+}
+
+// ResourceStats is a point-in-time snapshot of a resource's accounting.
+// All durations are virtual seconds. The lifetime invariants, checked by
+// the model checker on every explored schedule, are:
+//
+//	BusyTime >= 0, QueueWait >= 0, PeakBacklog >= 0
+//	BusyTime <= LastDone - FirstStart   (reservations never overlap)
+//	BusyTime + IdleTime(elapsed) == elapsed for any elapsed >= LastDone
+type ResourceStats struct {
+	Name         string
+	Reservations int64   // total Reserve calls (including zero-duration ones)
+	BusyTime     float64 // cumulative reserved duration
+	QueueWait    float64 // cumulative start-ready delay summed over reservations
+	PeakBacklog  float64 // max seconds of already-queued work found at a Reserve call
+	FirstStart   float64 // start time of the first reservation (0 if none)
+	LastDone     float64 // completion time of the latest-finishing reservation
+}
+
+// IdleTime reports how long the resource sat unreserved within a window of
+// elapsed virtual seconds starting at time zero. By construction
+// BusyTime + IdleTime(elapsed) == elapsed whenever elapsed covers the whole
+// run (elapsed >= LastDone); the result is clamped at zero for windows that
+// end mid-reservation.
+func (s ResourceStats) IdleTime(elapsed float64) float64 {
+	idle := elapsed - s.BusyTime
+	if idle < 0 {
+		idle = 0
+	}
+	return idle
+}
+
+// Utilization reports BusyTime as a fraction of the elapsed window (0 when
+// the window is empty).
+func (s ResourceStats) Utilization(elapsed float64) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return s.BusyTime / elapsed
+}
+
+// MeanQueueWait reports the average start-ready delay per reservation.
+func (s ResourceStats) MeanQueueWait() float64 {
+	if s.Reservations == 0 {
+		return 0
+	}
+	return s.QueueWait / float64(s.Reservations)
 }
 
 // NewResource returns an idle resource available from time zero.
@@ -30,13 +78,27 @@ func (r *Resource) Reserve(ready, dur float64) (start, done float64) {
 	if dur < 0 {
 		dur = 0
 	}
+	if ready < 0 {
+		ready = 0
+	}
 	start = ready
-	if r.free > start {
+	if backlog := r.free - ready; backlog > 0 {
 		start = r.free
+		if backlog > r.stats.PeakBacklog {
+			r.stats.PeakBacklog = backlog
+		}
 	}
 	done = start + dur
 	r.free = done
-	r.busy += dur
+	if r.stats.Reservations == 0 {
+		r.stats.FirstStart = start
+	}
+	r.stats.Reservations++
+	r.stats.BusyTime += dur
+	r.stats.QueueWait += start - ready
+	if done > r.stats.LastDone {
+		r.stats.LastDone = done
+	}
 	if r.Audit != nil {
 		r.Audit(ready, start, done)
 	}
@@ -47,7 +109,18 @@ func (r *Resource) Reserve(ready, dur float64) (start, done float64) {
 func (r *Resource) NextFree() float64 { return r.free }
 
 // BusyTime reports the total time the resource has been reserved.
-func (r *Resource) BusyTime() float64 { return r.busy }
+func (r *Resource) BusyTime() float64 { return r.stats.BusyTime }
+
+// Snapshot returns a copy of the resource's accounting counters. The copy
+// is detached: later reservations do not mutate it.
+func (r *Resource) Snapshot() ResourceStats {
+	s := r.stats
+	s.Name = r.Name
+	return s
+}
 
 // Reset clears the reservation state (used between benchmark repetitions).
-func (r *Resource) Reset() { r.free = 0; r.busy = 0 }
+func (r *Resource) Reset() {
+	r.free = 0
+	r.stats = ResourceStats{}
+}

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestResourceSnapshotAccounting(t *testing.T) {
+	r := NewResource("wire")
+
+	// Three reservations: back-to-back, queued, and after a gap.
+	s1, d1 := r.Reserve(0, 2) // [0,2), no wait
+	if s1 != 0 || d1 != 2 {
+		t.Fatalf("first reservation [%g,%g), want [0,2)", s1, d1)
+	}
+	s2, d2 := r.Reserve(1, 3) // ready at 1 but queued until 2 -> [2,5), wait 1
+	if s2 != 2 || d2 != 5 {
+		t.Fatalf("queued reservation [%g,%g), want [2,5)", s2, d2)
+	}
+	s3, d3 := r.Reserve(7, 1) // idle gap [5,7), then [7,8)
+	if s3 != 7 || d3 != 8 {
+		t.Fatalf("gapped reservation [%g,%g), want [7,8)", s3, d3)
+	}
+
+	st := r.Snapshot()
+	if st.Name != "wire" {
+		t.Errorf("snapshot name %q", st.Name)
+	}
+	if st.Reservations != 3 {
+		t.Errorf("reservations = %d, want 3", st.Reservations)
+	}
+	if st.BusyTime != 6 {
+		t.Errorf("busy = %g, want 6", st.BusyTime)
+	}
+	if st.QueueWait != 1 {
+		t.Errorf("queue wait = %g, want 1", st.QueueWait)
+	}
+	if st.PeakBacklog != 1 {
+		t.Errorf("peak backlog = %g, want 1", st.PeakBacklog)
+	}
+	if st.FirstStart != 0 || st.LastDone != 8 {
+		t.Errorf("window [%g,%g], want [0,8]", st.FirstStart, st.LastDone)
+	}
+	if got := st.MeanQueueWait(); math.Abs(got-1.0/3) > 1e-15 {
+		t.Errorf("mean queue wait = %g, want 1/3", got)
+	}
+
+	// busy + idle == elapsed for any window covering the run.
+	for _, elapsed := range []float64{8, 10, 100} {
+		if busyIdle := st.BusyTime + st.IdleTime(elapsed); busyIdle != elapsed {
+			t.Errorf("busy+idle = %g for elapsed %g", busyIdle, elapsed)
+		}
+	}
+	if u := st.Utilization(10); u != 0.6 {
+		t.Errorf("utilization = %g, want 0.6", u)
+	}
+	if u := st.Utilization(0); u != 0 {
+		t.Errorf("utilization of empty window = %g", u)
+	}
+
+	// Snapshot is detached from later reservations.
+	r.Reserve(8, 5)
+	if st.BusyTime != 6 || st.Reservations != 3 {
+		t.Errorf("snapshot mutated by later reservation: %+v", st)
+	}
+}
+
+func TestResourceSnapshotNeverNegative(t *testing.T) {
+	r := NewResource("cpu")
+	r.Reserve(0, -3)  // negative duration clamps to zero
+	r.Reserve(-2, 1)  // negative ready clamps to zero
+	r.Reserve(0.5, 0) // zero-duration queued reservation
+	st := r.Snapshot()
+	if st.BusyTime < 0 || st.QueueWait < 0 || st.PeakBacklog < 0 {
+		t.Errorf("negative counters: %+v", st)
+	}
+	if st.IdleTime(0.25) < 0 {
+		t.Errorf("negative idle time")
+	}
+	if st.Reservations != 3 {
+		t.Errorf("reservations = %d, want 3", st.Reservations)
+	}
+}
+
+func TestResourceResetClearsStats(t *testing.T) {
+	r := NewResource("nic")
+	r.Reserve(0, 4)
+	r.Reserve(1, 2)
+	r.Reset()
+	st := r.Snapshot()
+	if st.Reservations != 0 || st.BusyTime != 0 || st.QueueWait != 0 ||
+		st.PeakBacklog != 0 || st.FirstStart != 0 || st.LastDone != 0 {
+		t.Errorf("reset left stats behind: %+v", st)
+	}
+	if r.NextFree() != 0 {
+		t.Errorf("reset left free = %g", r.NextFree())
+	}
+	if st.Name != "nic" {
+		t.Errorf("name lost on reset: %q", st.Name)
+	}
+}

@@ -22,6 +22,7 @@ package simnet
 import (
 	"fmt"
 
+	"commoverlap/internal/metrics"
 	"commoverlap/internal/sim"
 )
 
@@ -109,6 +110,11 @@ func (c *Config) Validate() error {
 type Net struct {
 	Eng *sim.Engine
 	Cfg Config
+
+	// Metrics, when non-nil, receives the fabric's virtual-time counters:
+	// bytes on each wire, chunks pushed and in flight, transfers started.
+	// A nil registry costs nothing (every metrics call no-ops on nil).
+	Metrics *metrics.Registry
 
 	nodes []*nodeRes
 	core  *sim.Resource // nil for a non-blocking fabric
@@ -238,6 +244,7 @@ func (n *Net) transfer(src, dst *Endpoint, size int64, cpuRate float64) (injecte
 	if size < 0 {
 		panic("simnet: negative transfer size")
 	}
+	n.Metrics.Inc("net.transfers", "")
 	feed := &chunkFeed{sig: n.Eng.NewSignal()}
 	n.Eng.Spawn("xfer-tx", func(p *sim.Proc) {
 		n.runTransferTx(p, src, dst, size, cpuRate, feed, injected)
@@ -291,10 +298,18 @@ func (n *Net) runTransferTx(p *sim.Proc, src, dst *Endpoint, size int64, cpuRate
 		var cleared float64
 		if intra {
 			_, cleared = n.nodes[src.Node].shm.Reserve(p.Now(), cb/cfg.ShmBandwidth)
+			if n.Metrics != nil {
+				n.Metrics.Add("net.shm.bytes", fmt.Sprintf("node%d", src.Node), cb)
+			}
 		} else {
 			_, cleared = n.nodes[src.Node].egress.Reserve(p.Now(), cb/cfg.WireBandwidth)
 			n.nodes[src.Node].egressBytes += chunk
+			if n.Metrics != nil {
+				n.Metrics.Add("net.wire.bytes", fmt.Sprintf("node%d", src.Node), cb)
+			}
 		}
+		n.Metrics.Inc("net.chunks", "")
+		n.Metrics.AddGauge("net.chunks.inflight", "", 1)
 		feed.push(cleared, chunk, remaining <= 0)
 		lastCPU = cpuDone
 		ready = cpuDone
@@ -346,6 +361,7 @@ func (n *Net) runTransferRx(p *sim.Proc, src, dst *Endpoint, cpuRate float64, fe
 			p.SleepUntil(arrive)
 		}
 		_, recvDone := dst.NIC.Reserve(p.Now(), cfg.RecvOverhead+cb/cpuRate)
+		n.Metrics.AddGauge("net.chunks.inflight", "", -1)
 		lastDeliver = recvDone
 	}
 }
