@@ -3,15 +3,17 @@
 //
 // Usage:
 //
-//	overlapbench [-n dim] [-csv dir] [-trace file] [-metrics] [experiment ...]
+//	overlapbench [-n dim] [-csv dir] [-trace file] [-metrics] [-noise] [experiment ...]
 //	overlapbench -validate-trace file
 //
 // Experiments: fig3, fig4, fig5, fig6, table1, table2, table3, table4,
 // table5 (the paper's artifacts), plus the extensions solver
 // (pipelined-CG future work), algos (2D/3D/2.5D family comparison),
 // ablate (design-knob sensitivity), sparse (block-sparse SUMMA), scaling
-// (strong scaling) and report (all paper claims checked with verdicts);
-// "all" (the default) runs everything except report. -n overrides the
+// (strong scaling), noise (the skew-resilience experiment: Fig. 5's cases
+// re-measured under seeded machine noise from internal/faults — also
+// reachable as the -noise flag) and report (all paper claims checked with
+// verdicts); "all" (the default) runs everything except report. -n overrides the
 // matrix dimension for the kernel tables (default: the paper's 1hsg_70,
 // N = 7645). -csv also writes each experiment's data as <dir>/<id>.csv.
 //
@@ -61,6 +63,7 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write <experiment>.csv files into")
 	tracePath := flag.String("trace", "", "write the fig6 timeline as Chrome trace JSON to this file")
 	showMetrics := flag.Bool("metrics", false, "accumulate and print virtual-time metrics across the runs")
+	noiseOnly := flag.Bool("noise", false, "run the skew-resilience (machine noise) experiment")
 	validate := flag.String("validate-trace", "", "validate a Chrome trace JSON file and exit")
 	flag.Parse()
 	if *validate != "" {
@@ -79,6 +82,9 @@ func main() {
 		return
 	}
 	exps := flag.Args()
+	if *noiseOnly {
+		exps = append(exps, "noise")
+	}
 	if len(exps) == 0 {
 		exps = []string{"all"}
 	}
@@ -205,6 +211,14 @@ func main() {
 	run("ablate", func() error { _, err := bench.Ablate(os.Stdout, *n); return err })
 	run("sparse", func() error { _, err := bench.Sparse(os.Stdout, 0); return err })
 	run("scaling", func() error { _, err := bench.Scaling(os.Stdout, *n); return err })
+	run("noise", func() error {
+		res, err := bench.Noise(os.Stdout)
+		if err != nil {
+			return err
+		}
+		csvOut("noise", func(f io.Writer) error { return res.WriteCSV(f) })
+		return nil
+	})
 	// report re-runs the whole evaluation, so it only fires when asked for
 	// by name, never as part of "all".
 	if want["report"] {

@@ -11,6 +11,14 @@
 //	simcheck -n 100                  # 100 seeded schedules per scenario
 //	simcheck -list                   # catalog
 //	simcheck -scenario p2p-burst -policy random -seed 17 -n 1   # replay
+//	simcheck -faults all -n 5        # every fault profile over every scenario
+//
+// -faults runs each schedule under a named fault-injection profile (noise,
+// storm, loss — see -list; "all" runs every profile). The fault seed tracks
+// the schedule seed, so a failing (scenario, profile, policy, seed) tuple
+// replays exactly; perturbation must never break an invariant — the
+// delivery check additionally proves no payload is lost, duplicated or
+// corrupted by the retransmission layer.
 //
 // -metrics adds a per-run resource-utilization line (mean busy fraction of
 // the wire, CPU and NIC lanes over the run, plus the single busiest
@@ -79,6 +87,7 @@ func main() {
 		verbose  = flag.Bool("v", false, "print every run, not just failures")
 		metrics  = flag.Bool("metrics", false, "print per-run resource utilization")
 		traceOut = flag.String("trace", "", "export the run's message events as Chrome trace JSON (single run only)")
+		faultsIn = flag.String("faults", "", "run under a fault profile: noise, storm, loss, or all")
 	)
 	flag.Parse()
 
@@ -94,6 +103,10 @@ func main() {
 				seeded = "seeded"
 			}
 			fmt.Printf("  %-16s %s\n", pol.Name, seeded)
+		}
+		fmt.Println("fault profiles (-faults):")
+		for _, fp := range check.FaultProfiles() {
+			fmt.Printf("  %-16s\n", fp.Name)
 		}
 		return
 	}
@@ -130,7 +143,19 @@ func main() {
 		os.Exit(2)
 	}
 
-	sum := check.Explore(scens, policies, *n, *seed, func(r check.Result) {
+	var profiles []check.FaultProfile
+	if *faultsIn != "" && *faultsIn != "all" {
+		fp, ok := check.FindFaultProfile(*faultsIn)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "simcheck: unknown fault profile %q (use -list)\n", *faultsIn)
+			os.Exit(2)
+		}
+		profiles = []check.FaultProfile{fp}
+	} else if *faultsIn == "all" {
+		profiles = check.FaultProfiles()
+	}
+
+	report := func(r check.Result) {
 		if r.Failed() {
 			fmt.Printf("FAIL %s: %d violation(s)\n", r.Schedule(), len(r.Violations))
 			for _, v := range r.Violations {
@@ -164,7 +189,14 @@ func main() {
 			}
 			fmt.Printf("     [wrote Chrome trace %s]\n", *traceOut)
 		}
-	})
+	}
+
+	var sum check.Summary
+	if profiles != nil {
+		sum = check.ExploreFaults(scens, profiles, policies, *n, *seed, report)
+	} else {
+		sum = check.Explore(scens, policies, *n, *seed, report)
+	}
 
 	fmt.Printf("simcheck: %d runs (%d seeded schedules across %d scenarios, policies:",
 		sum.Runs, sum.Schedules, len(scens))

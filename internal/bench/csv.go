@@ -137,3 +137,25 @@ func Table5CSV(w io.Writer, rows []Table5Row) error {
 	}
 	return nil
 }
+
+// WriteCSV emits the skew-resilience experiment: one row per noise
+// amplitude, bandwidth and retention per case.
+func (r NoiseResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprint(w, "amp"); err != nil {
+		return err
+	}
+	for _, c := range []string{"blocking", "overlap4", "ppn4"} {
+		fmt.Fprintf(w, ",%s_MBps,%s_retention", c, c)
+	}
+	fmt.Fprintln(w)
+	for i, amp := range r.Amps {
+		fmt.Fprintf(w, "%g", amp)
+		for c := Blocking; c <= MultiPPNOverlap; c++ {
+			fmt.Fprintf(w, ",%.1f,%.4f", r.BW[c][i], r.Retention[c][i])
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -18,6 +18,11 @@
 //     send order, with contiguous sequence numbers from zero.
 //   - non-overtaking: per (comm, src, dst, tag), receives match in send
 //     order (MPI's non-overtaking rule).
+//   - delivery: every posted message is admitted exactly once and matched
+//     exactly once, with its byte count intact, and no admission or match
+//     appears for a message that was never posted — under transient wire
+//     loss this is the "no lost payload" guarantee of the retransmission
+//     layer.
 //   - oracle: collective and kernel results equal a serial oracle
 //     (scenarios assert this through their fail callback).
 //   - deadlock: the engine finishes without stuck processes.
@@ -34,6 +39,7 @@ package check
 import (
 	"fmt"
 
+	"commoverlap/internal/faults"
 	"commoverlap/internal/mpi"
 	"commoverlap/internal/sim"
 	"commoverlap/internal/simnet"
@@ -73,6 +79,12 @@ type Options struct {
 	// exists for fault injection in the checker's self-tests (e.g. setting
 	// mpi.World.UnsafeNoMsgOrder) and must stay nil in normal exploration.
 	Mutate func(w *mpi.World)
+	// Faults, when non-nil, installs a deterministic perturbation layer
+	// (stragglers, degraded links, jitter, preemptions, transient chunk
+	// loss) before launch. Every invariant stays armed: perturbation may
+	// stretch the schedule but must never violate ordering, accounting, or
+	// delivery.
+	Faults *faults.Config
 }
 
 // Report is the outcome of running one scenario under one schedule.
@@ -90,6 +102,9 @@ type Report struct {
 	// Log is the run's full message-protocol trace (simcheck -trace
 	// exports it as Chrome trace JSON).
 	Log *trace.MsgLog
+	// Faults is the installed perturbation injector (nil on clean runs);
+	// its Events/ChromeEvents expose the run's deterministic fault log.
+	Faults *faults.Injector
 }
 
 // Failed reports whether any invariant was violated.
@@ -132,6 +147,15 @@ func RunScenario(sc Scenario, opts Options) Report {
 	if opts.Mutate != nil {
 		opts.Mutate(w)
 	}
+	var inj *faults.Injector
+	if opts.Faults != nil {
+		inj, err = faults.New(*opts.Faults)
+		if err != nil {
+			col.addf("setup", "faults: %v", err)
+			return Report{Violations: col.violations}
+		}
+		inj.Install(w)
+	}
 	watchResources(w, col)
 	var log trace.MsgLog
 	w.Probe = log.Add
@@ -157,6 +181,7 @@ func RunScenario(sc Scenario, opts Options) Report {
 		col.addf("teardown", "%v", err)
 	}
 	checkMessageOrder(&log, col)
+	checkDelivery(&log, col)
 	resources := checkResourceAccounting(w, eng.Now(), col)
 
 	return Report{
@@ -166,5 +191,6 @@ func RunScenario(sc Scenario, opts Options) Report {
 		FinalTime:  eng.Now(),
 		Resources:  resources,
 		Log:        &log,
+		Faults:     inj,
 	}
 }

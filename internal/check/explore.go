@@ -40,20 +40,26 @@ func FindPolicy(name string) (Policy, bool) {
 	return Policy{}, false
 }
 
-// Result is the outcome of one (scenario, policy, seed) run.
+// Result is the outcome of one (scenario, profile, policy, seed) run.
+// Profile is empty on clean (unperturbed) runs.
 type Result struct {
 	Scenario string
+	Profile  string // fault profile name, "" when no faults were injected
 	Policy   string
-	Seed     int64 // meaningful only for seeded policies
+	Seed     int64 // meaningful only for seeded policies (and fault profiles)
 	Report
 }
 
-// Schedule describes the run's schedule as a human-readable triple.
+// Schedule describes the run's schedule as a human-readable tuple.
 func (r Result) Schedule() string {
-	if p, ok := FindPolicy(r.Policy); ok && p.Seeded {
-		return fmt.Sprintf("%s/%s/seed=%d", r.Scenario, r.Policy, r.Seed)
+	name := r.Scenario
+	if r.Profile != "" {
+		name += "+" + r.Profile
 	}
-	return fmt.Sprintf("%s/%s", r.Scenario, r.Policy)
+	if p, ok := FindPolicy(r.Policy); ok && p.Seeded || r.Profile != "" {
+		return fmt.Sprintf("%s/%s/seed=%d", name, r.Policy, r.Seed)
+	}
+	return fmt.Sprintf("%s/%s", name, r.Policy)
 }
 
 // Repro returns shell commands that replay exactly this schedule.
@@ -61,8 +67,8 @@ func (r Result) Repro() []string {
 	return []string{
 		fmt.Sprintf("go test ./internal/check -run 'TestSchedules$' -scenario=%s -policy=%s -seed=%d -schedules=1",
 			r.Scenario, r.Policy, r.Seed),
-		fmt.Sprintf("go run ./cmd/simcheck -scenario %s -policy %s -seed %d -n 1",
-			r.Scenario, r.Policy, r.Seed),
+		fmt.Sprintf("go run ./cmd/simcheck -scenario %s -policy %s -seed %d%s -n 1",
+			r.Scenario, r.Policy, r.Seed, faultRepro(r.Profile)),
 	}
 }
 

@@ -1,0 +1,91 @@
+package check
+
+import (
+	"fmt"
+
+	"commoverlap/internal/faults"
+)
+
+// FaultProfile names one perturbation configuration for exploration. The
+// profile's Seed field is overwritten per run with the exploration seed, so
+// the same profile perturbs differently across seeds while staying fully
+// replayable from the (scenario, profile, policy, seed) tuple.
+type FaultProfile struct {
+	Name   string
+	Config faults.Config
+}
+
+// FaultProfiles returns the explorer's perturbation library:
+//
+//	noise   the skew-resilience preset at amplitude 1 — stragglers,
+//	        degraded links, jitter, preemptions;
+//	storm   amplitude 2 noise plus 5% transient chunk loss, the harshest
+//	        combined profile;
+//	loss    pure transport loss at 20% per chunk attempt, isolating the
+//	        retransmission path.
+func FaultProfiles() []FaultProfile {
+	storm := faults.Noise(0, 2)
+	storm.ChunkLossProb = 0.05
+	return []FaultProfile{
+		{Name: "noise", Config: faults.Noise(0, 1)},
+		{Name: "storm", Config: storm},
+		{Name: "loss", Config: faults.Lossy(0, 0.2)},
+	}
+}
+
+// FindFaultProfile returns the named profile.
+func FindFaultProfile(name string) (FaultProfile, bool) {
+	for _, fp := range FaultProfiles() {
+		if fp.Name == name {
+			return fp, true
+		}
+	}
+	return FaultProfile{}, false
+}
+
+// ExploreFaults runs every scenario under every fault profile and every
+// policy — the fault seed tracking the schedule seed — with the full
+// invariant set armed, delivery included: perturbation may slow a run
+// arbitrarily but must never lose a payload, reorder admission, or break
+// accounting. Results and aggregation mirror Explore.
+func ExploreFaults(scens []Scenario, profiles []FaultProfile, policies []Policy, nSeeds int, baseSeed int64, report func(Result)) Summary {
+	var sum Summary
+	run := func(sc Scenario, fp FaultProfile, pol Policy, seed int64) {
+		cfg := fp.Config
+		cfg.Seed = seed
+		res := Result{Scenario: sc.Name, Profile: fp.Name, Policy: pol.Name, Seed: seed}
+		res.Report = RunScenario(sc, Options{Tie: pol.New(seed), Faults: &cfg})
+		sum.Runs++
+		if pol.Seeded {
+			sum.Schedules++
+		}
+		if res.Failed() {
+			sum.Failures = append(sum.Failures, res)
+		}
+		if report != nil {
+			report(res)
+		}
+	}
+	for _, sc := range scens {
+		for _, fp := range profiles {
+			for _, pol := range policies {
+				if !pol.Seeded {
+					run(sc, fp, pol, baseSeed)
+					continue
+				}
+				for i := 0; i < nSeeds; i++ {
+					run(sc, fp, pol, baseSeed+int64(i))
+				}
+			}
+		}
+	}
+	return sum
+}
+
+// faultRepro renders the -faults argument for a Result's repro commands.
+func faultRepro(profile string) string {
+	if profile == "" {
+		return ""
+	}
+	return fmt.Sprintf(" -faults %s", profile)
+}

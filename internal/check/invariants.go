@@ -80,6 +80,71 @@ func checkResourceAccounting(w *mpi.World, elapsed float64, col *collector) []si
 	return snaps
 }
 
+// checkDelivery analyzes the completed run's message-protocol trace for
+// end-to-end payload integrity: every posted message must be admitted
+// exactly once and matched exactly once, each time with the byte count it
+// was posted with, and no admission or match may appear for a message that
+// was never posted. On clean runs this is implied by a clean teardown; its
+// force is under fault injection, where a transient chunk loss swallowed by
+// a buggy retransmission path would surface here as a posted-never-matched
+// message even if the job itself (phantom payloads, wildcard receives)
+// never noticed.
+func checkDelivery(log *trace.MsgLog, col *collector) {
+	type lifecycle struct {
+		bytes                     int64
+		posted, admitted, matched int
+	}
+	msgs := map[msgID]*lifecycle{}
+	ids := []msgID{} // preserve trace order for deterministic reporting
+	get := func(e trace.MsgEvent) *lifecycle {
+		id := msgID{e.Ctx, e.Src, e.Dst, e.Seq}
+		lc, ok := msgs[id]
+		if !ok {
+			lc = &lifecycle{bytes: e.Bytes}
+			msgs[id] = lc
+			ids = append(ids, id)
+		}
+		return lc
+	}
+	for _, e := range log.Events() {
+		lc := get(e)
+		switch e.Kind {
+		case trace.MsgPost:
+			lc.posted++
+		case trace.MsgAdmit:
+			lc.admitted++
+		case trace.MsgMatch:
+			lc.matched++
+		}
+		if e.Bytes != lc.bytes {
+			col.addf("delivery",
+				"ctx %d %d->%d seq %d: %v carries %d bytes, posted with %d — payload size corrupted in flight",
+				e.Ctx, e.Src, e.Dst, e.Seq, e.Kind, e.Bytes, lc.bytes)
+		}
+	}
+	for _, id := range ids {
+		lc := msgs[id]
+		switch {
+		case lc.posted != 1:
+			col.addf("delivery", "ctx %d %d->%d seq %d: posted %d times, want exactly once",
+				id.ctx, id.src, id.dst, id.seq, lc.posted)
+		case lc.admitted != 1:
+			col.addf("delivery", "ctx %d %d->%d seq %d: admitted %d times, want exactly once — payload lost or duplicated",
+				id.ctx, id.src, id.dst, id.seq, lc.admitted)
+		case lc.matched != 1:
+			col.addf("delivery", "ctx %d %d->%d seq %d: matched %d times, want exactly once",
+				id.ctx, id.src, id.dst, id.seq, lc.matched)
+		}
+	}
+}
+
+// msgID names one message for its whole lifecycle: the (ctx, src, dst)
+// stream plus the sender-assigned sequence number.
+type msgID struct {
+	ctx, src, dst int
+	seq           int64
+}
+
 // pairID names one directed (comm, src, dst) message stream; flowID narrows
 // it to one tag, the granularity at which MPI forbids overtaking.
 type pairID struct{ ctx, src, dst int }

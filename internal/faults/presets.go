@@ -1,0 +1,44 @@
+package faults
+
+// Noise returns the machine-noise configuration used by the skew-resilience
+// experiment: a quarter of the nodes straggle, a quarter of the links run
+// degraded, and everything scales with one amplitude knob. amp = 0 is a
+// clean machine; amp = 1 is a plausibly noisy production cluster; amp = 2 a
+// pathological one. The composition follows the OS-noise literature: the
+// bulk of the lost time comes from frequent short preemptions (daemons,
+// timer ticks) and scheduling skew on a minority of slow nodes, with mild
+// link degradation and small per-chunk latency jitter on top. Preemptions
+// and jitter are latency-type noise — stalls that overlapped schedules can
+// hide behind other bands' traffic — while the straggler factor is
+// capacity-type noise that no schedule can hide; the preset keeps the
+// capacity component mild so the mix stays in the regime the experiment is
+// about (skew, not a uniformly slower machine).
+func Noise(seed int64, amp float64) Config {
+	if amp < 0 {
+		amp = 0
+	}
+	cfg := Config{Seed: seed}
+	if amp == 0 {
+		return cfg
+	}
+	cfg.StragglerFrac = 0.25
+	cfg.StragglerFactor = 1 + 0.225*amp
+	cfg.PausePeriod = 500e-6
+	cfg.PauseDur = 10e-6 * amp
+	if cfg.PauseDur >= cfg.PausePeriod {
+		cfg.PauseDur = cfg.PausePeriod * 0.9
+	}
+	cfg.DegradedLinkFrac = 0.25
+	cfg.DegradedLinkFactor = 1 + 0.05*amp
+	cfg.LatencyJitter = 7.5e-6 * amp
+	cfg.PreemptRate = 25000 * amp
+	cfg.PreemptMax = 15e-6 * amp
+	return cfg
+}
+
+// Lossy returns a configuration exercising only the transient-loss and
+// retransmission machinery: every chunk attempt drops with probability
+// prob, repaired with the default 50 us exponential-backoff timeout.
+func Lossy(seed int64, prob float64) Config {
+	return Config{Seed: seed, ChunkLossProb: prob}
+}

@@ -21,6 +21,7 @@ type Status struct {
 type Request struct {
 	done *sim.Gate
 	sp   *sim.Proc
+	w    *World
 	// Status is valid after completion of a receive request.
 	Status Status
 }
@@ -28,6 +29,25 @@ type Request struct {
 // Wait blocks the posting rank until the operation completes. It must be
 // called from the goroutine that posted the operation.
 func (r *Request) Wait() { r.sp.Wait(r.done) }
+
+// Waittimeout blocks until the operation completes or d virtual seconds
+// elapse, whichever comes first, and reports whether the operation
+// completed. On timeout the request stays open and can be waited again —
+// the deadline-aware retry idiom the skew-resilience experiments use to
+// keep making progress past a straggling peer. Timeouts are counted in the
+// mpi.wait.timeouts metric.
+func (r *Request) Waittimeout(d float64) bool {
+	if r.sp.WaitTimeout(r.done, d) {
+		return true
+	}
+	r.w.Metrics.Inc("mpi.wait.timeouts", "")
+	return false
+}
+
+// Waitdeadline is Waittimeout against an absolute virtual time.
+func (r *Request) Waitdeadline(t float64) bool {
+	return r.Waittimeout(t - r.sp.Now())
+}
 
 // Test reports whether the operation has completed, without blocking.
 // Progress in the simulation is autonomous (as with an MPI progress thread),

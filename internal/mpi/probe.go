@@ -1,6 +1,10 @@
 package mpi
 
-import "commoverlap/internal/sim"
+import (
+	"fmt"
+
+	"commoverlap/internal/sim"
+)
 
 // Probe and the multi-request wait operations round out the point-to-point
 // API. Progress in the simulation is autonomous, so Iprobe is a pure query
@@ -24,13 +28,26 @@ func (c *Comm) Iprobe(src, tag int) (Status, bool) {
 // queue each time the rank's clock can advance. It charges the same
 // per-test CPU cost as PollWait's MPI_Test loop, with a short adaptive
 // back-off so the virtual-time cost of waiting is bounded.
+//
+// Like PollWait, a probe for a message that never arrives would spin
+// forever in virtual time — the poll loop keeps generating events, so the
+// engine's deadlock detector never triggers. World.MaxPollTime bounds the
+// spin; exceeding it panics with the rank and the (src, tag) pattern that
+// never matched.
 func (c *Comm) Probe(src, tag int) Status {
+	deadline := c.p.sp.Now() + c.p.w.MaxPollTime
 	backoff := 1e-6
 	for {
 		if st, ok := c.Iprobe(src, tag); ok {
 			return st
 		}
+		c.p.w.Metrics.Inc("mpi.probe.spins", "")
 		c.p.w.Net.ChargeCPU(c.p.sp, c.p.st.ep, testOverhead)
+		if c.p.w.MaxPollTime > 0 && c.p.sp.Now() >= deadline {
+			panic(fmt.Sprintf(
+				"mpi: rank %d probed (src %d, tag %d) on ctx %d for %g virtual seconds without a match — no matching message is coming",
+				c.p.rank, src, tag, c.ctx, c.p.w.MaxPollTime))
+		}
 		c.p.sp.Sleep(backoff)
 		if backoff < 64e-6 {
 			backoff *= 2

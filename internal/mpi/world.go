@@ -136,7 +136,7 @@ func NewWorld(net *simnet.Net, size int, placement []int) (*World, error) {
 // newRequest allocates a tracked request. Every request the library creates
 // goes through here so that teardown can enumerate the ones never completed.
 func (w *World) newRequest(sp *sim.Proc, kind string, rank, ctx int) *Request {
-	req := &Request{done: w.Eng.NewGate(), sp: sp}
+	req := &Request{done: w.Eng.NewGate(), sp: sp, w: w}
 	w.open[req] = reqInfo{kind: kind, rank: rank, ctx: ctx}
 	req.done.OnFire(func() { delete(w.open, req) })
 	return req
@@ -180,6 +180,15 @@ func (w *World) PendingRequests() int { return len(w.open) }
 // ParkStats reports how many ranks RunActive has parked and how many of
 // those have been woken again.
 func (w *World) ParkStats() (parks, wakes int) { return w.parks, w.wakes }
+
+// EachEndpoint visits every rank's fabric endpoint in rank order. The
+// fault-injection layer uses it to install per-lane perturbation hooks with
+// the rank and node identity preserved (EachResource flattens that away).
+func (w *World) EachEndpoint(f func(rank int, ep *simnet.Endpoint)) {
+	for r, st := range w.ranks {
+		f(r, st.ep)
+	}
+}
 
 // EachResource visits every FIFO resource the job touches: the fabric's
 // wires and buses plus each rank's CPU and NIC lanes. Checkers use it to

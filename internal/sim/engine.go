@@ -147,6 +147,33 @@ func (e *Engine) wakeAt(t float64, p *Proc) {
 	e.seq++
 }
 
+// wakeNoLater schedules p to resume no later than time t. Unlike wakeAt it
+// pulls an already-pending wakeup earlier when that wakeup is scheduled
+// after t — the case of a gate firing before the deadline of a timed wait
+// (WaitTimeout), whose waiter parks with a wakeup already booked. The
+// rescheduled event takes a fresh sequence number, so it orders FIFO among
+// events newly scheduled at its new time.
+func (e *Engine) wakeNoLater(t float64, p *Proc) {
+	if !p.pending {
+		e.wakeAt(t, p)
+		return
+	}
+	if t < e.now {
+		t = e.now
+	}
+	for i := range e.events {
+		if e.events[i].p == p {
+			if t < e.events[i].t {
+				e.events[i].t = t
+				e.events[i].seq = e.seq
+				e.seq++
+				heap.Fix(&e.events, i)
+			}
+			return
+		}
+	}
+}
+
 // Run executes the simulation until no events remain. It returns an error if
 // processes are still alive but permanently blocked (deadlock), listing them.
 func (e *Engine) Run() error {

@@ -40,7 +40,10 @@ func (g *Gate) Fire() {
 	ws := g.waiters
 	g.waiters = nil
 	for _, w := range ws {
-		g.eng.wakeAt(g.eng.now, w)
+		// wakeNoLater, not wakeAt: a waiter in a timed wait (WaitTimeout)
+		// parks with its deadline wakeup already scheduled, and firing the
+		// gate must pull that wakeup forward to now.
+		g.eng.wakeNoLater(g.eng.now, w)
 	}
 }
 
@@ -66,7 +69,10 @@ func (p *Proc) Wait(g *Gate) {
 
 // WaitAny blocks p until at least one of the gates fires and returns the
 // index of the first fired gate (lowest index wins when several have fired).
-// An empty gate list returns -1 immediately.
+// An empty gate list returns -1 immediately. The gate list may contain
+// duplicates (aliased gates): each distinct gate registers the waiter once,
+// and every registration is removed on wake, so no stale waiter survives to
+// spuriously resume the process from a later park.
 func (p *Proc) WaitAny(gates ...*Gate) int {
 	for i, g := range gates {
 		if g.fired {
@@ -76,7 +82,10 @@ func (p *Proc) WaitAny(gates ...*Gate) int {
 	if len(gates) == 0 {
 		return -1
 	}
-	for _, g := range gates {
+	for i, g := range gates {
+		if dupGate(gates[:i], g) {
+			continue
+		}
 		g.waiters = append(g.waiters, p)
 	}
 	p.park("gate-any")
@@ -85,7 +94,7 @@ func (p *Proc) WaitAny(gates ...*Gate) int {
 		if g.fired && idx < 0 {
 			idx = i
 		}
-		if !g.fired {
+		if !g.fired && !dupGate(gates[:i], g) {
 			g.removeWaiter(p)
 		}
 	}
@@ -95,13 +104,55 @@ func (p *Proc) WaitAny(gates ...*Gate) int {
 	return idx
 }
 
-func (g *Gate) removeWaiter(p *Proc) {
-	for i, w := range g.waiters {
-		if w == p {
-			g.waiters = append(g.waiters[:i], g.waiters[i+1:]...)
-			return
+// dupGate reports whether g already appears in the prefix (gate lists are
+// short, so the quadratic scan beats allocating a set).
+func dupGate(prefix []*Gate, g *Gate) bool {
+	for _, h := range prefix {
+		if h == g {
+			return true
 		}
 	}
+	return false
+}
+
+// removeWaiter removes every registration of p from the waiter list, so a
+// process that registered more than once (or is being cleaned up defensively)
+// cannot be left behind as a stale waiter.
+func (g *Gate) removeWaiter(p *Proc) {
+	out := g.waiters[:0]
+	for _, w := range g.waiters {
+		if w != p {
+			out = append(out, w)
+		}
+	}
+	for i := len(out); i < len(g.waiters); i++ {
+		g.waiters[i] = nil
+	}
+	g.waiters = out
+}
+
+// WaitTimeout blocks p until the gate fires or d seconds of virtual time
+// pass, whichever comes first, and reports whether the gate fired. A
+// non-positive d polls: it returns the gate's current state without
+// blocking. The deadline wakeup is booked before parking; a gate firing
+// earlier pulls the wakeup forward (Fire uses wakeNoLater), and a timeout
+// deregisters the waiter so the gate's eventual Fire cannot spuriously
+// resume the process from a later park.
+func (p *Proc) WaitTimeout(g *Gate, d float64) bool {
+	if g.fired {
+		return true
+	}
+	if d <= 0 {
+		return false
+	}
+	g.waiters = append(g.waiters, p)
+	p.eng.wakeAt(p.eng.now+d, p)
+	p.swap("gate-timeout")
+	if !g.fired {
+		g.removeWaiter(p)
+		return false
+	}
+	return true
 }
 
 // WaitAll blocks p until every gate has fired.

@@ -20,6 +20,16 @@ type Resource struct {
 	// done). Checkers install it to assert the FIFO non-overlap invariant
 	// (start >= ready, start >= previous done) from outside the package.
 	Audit func(ready, start, done float64)
+
+	// Perturb, when non-nil, maps each reservation's requested duration to
+	// the duration actually booked, given the reservation's start time. The
+	// fault-injection layer (internal/faults) installs it to model CPU
+	// stragglers, pause windows, preemptions and link degradation as
+	// stretched occupancies. Implementations must be deterministic in
+	// (start, dur, call order); negative results are clamped to zero. The
+	// perturbed duration feeds the accounting stats, so busy/idle
+	// partitioning stays exact under injection.
+	Perturb func(start, dur float64) float64
 }
 
 // ResourceStats is a point-in-time snapshot of a resource's accounting.
@@ -86,6 +96,11 @@ func (r *Resource) Reserve(ready, dur float64) (start, done float64) {
 		start = r.free
 		if backlog > r.stats.PeakBacklog {
 			r.stats.PeakBacklog = backlog
+		}
+	}
+	if r.Perturb != nil {
+		if dur = r.Perturb(start, dur); dur < 0 {
+			dur = 0
 		}
 	}
 	done = start + dur

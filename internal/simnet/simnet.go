@@ -106,6 +106,24 @@ func (c *Config) Validate() error {
 	return nil
 }
 
+// FaultModel is the hook a perturbation layer (internal/faults) implements
+// to disturb the wire pipeline. The engine serializes every call, so
+// implementations need no locking; determinism requires each answer be a
+// pure function of the implementation's seeded state and the call order,
+// which the deterministic engine already fixes.
+type FaultModel interface {
+	// ChunkDelay returns extra leading-edge latency, in seconds, for one
+	// chunk crossing the fabric from src to dst node (0 for none).
+	ChunkDelay(src, dst int) float64
+	// ChunkFate decides whether one transmission attempt of a chunk is
+	// lost in transit. attempt counts from 0. On loss the sender backs off
+	// for the returned timeout — the model's retransmission timer, which
+	// the injector grows exponentially per attempt — and then retransmits.
+	// Implementations must eventually answer lost=false for every chunk so
+	// payloads are never silently dropped.
+	ChunkFate(src, dst, attempt int) (lost bool, timeout float64)
+}
+
 // Net is an instance of the fabric bound to a sim engine.
 type Net struct {
 	Eng *sim.Engine
@@ -113,8 +131,15 @@ type Net struct {
 
 	// Metrics, when non-nil, receives the fabric's virtual-time counters:
 	// bytes on each wire, chunks pushed and in flight, transfers started.
-	// A nil registry costs nothing (every metrics call no-ops on nil).
+	// A nil registry costs nothing: every Registry method is nil-receiver
+	// safe, so call sites never guard.
 	Metrics *metrics.Registry
+
+	// Faults, when non-nil, perturbs the wire pipeline with per-chunk
+	// latency jitter and transient loss (repaired by timeout + exponential
+	// backoff retransmission in the transfer path). Install it before any
+	// transfer starts; internal/faults provides the standard implementation.
+	Faults FaultModel
 
 	nodes []*nodeRes
 	core  *sim.Resource // nil for a non-blocking fabric
@@ -193,6 +218,15 @@ func (n *Net) EachResource(f func(*sim.Resource)) {
 		f(nd.egress)
 		f(nd.ingress)
 		f(nd.shm)
+	}
+}
+
+// EachWire visits each node's egress and ingress wire resources with the
+// node's index. The fault-injection layer uses it to install per-link
+// degradation hooks; unlike EachResource it preserves the node identity.
+func (n *Net) EachWire(f func(node int, egress, ingress *sim.Resource)) {
+	for i, nd := range n.nodes {
+		f(i, nd.egress, nd.ingress)
 	}
 }
 
@@ -298,14 +332,33 @@ func (n *Net) runTransferTx(p *sim.Proc, src, dst *Endpoint, size int64, cpuRate
 		var cleared float64
 		if intra {
 			_, cleared = n.nodes[src.Node].shm.Reserve(p.Now(), cb/cfg.ShmBandwidth)
-			if n.Metrics != nil {
-				n.Metrics.Add("net.shm.bytes", fmt.Sprintf("node%d", src.Node), cb)
-			}
+			n.Metrics.Add("net.shm.bytes", fmt.Sprintf("node%d", src.Node), cb)
 		} else {
-			_, cleared = n.nodes[src.Node].egress.Reserve(p.Now(), cb/cfg.WireBandwidth)
-			n.nodes[src.Node].egressBytes += chunk
-			if n.Metrics != nil {
+			// Transmit the chunk; under fault injection a transmission
+			// attempt can be lost in transit, in which case the sender
+			// waits out the retransmission timeout (the injector grows it
+			// exponentially per attempt), pays the re-injection descriptor
+			// cost on its NIC lane, and sends the chunk again. Every
+			// attempt occupies the wire — lost bytes are real traffic.
+			for attempt := 0; ; attempt++ {
+				_, cleared = n.nodes[src.Node].egress.Reserve(p.Now(), cb/cfg.WireBandwidth)
+				n.nodes[src.Node].egressBytes += chunk
 				n.Metrics.Add("net.wire.bytes", fmt.Sprintf("node%d", src.Node), cb)
+				if n.Faults == nil {
+					break
+				}
+				lost, timeout := n.Faults.ChunkFate(src.Node, dst.Node, attempt)
+				if !lost {
+					break
+				}
+				n.Metrics.Inc("net.chunks.lost", "")
+				if cleared > p.Now() {
+					p.SleepUntil(cleared)
+				}
+				p.Sleep(timeout)
+				n.Metrics.Inc("net.chunks.retrans", "")
+				_, reDone := src.NIC.Reserve(p.Now(), cfg.SendOverhead)
+				p.SleepUntil(reDone)
 			}
 		}
 		n.Metrics.Inc("net.chunks", "")
@@ -345,8 +398,14 @@ func (n *Net) runTransferRx(p *sim.Proc, src, dst *Endpoint, cpuRate float64, fe
 		if intra {
 			arrive = t + cfg.ShmLatency
 		} else {
-			if t+cfg.WireLatency > p.Now() {
-				p.SleepUntil(t + cfg.WireLatency)
+			lat := cfg.WireLatency
+			if n.Faults != nil {
+				// Per-chunk latency jitter from the fault model (0 when
+				// the injector has jitter disabled).
+				lat += n.Faults.ChunkDelay(src.Node, dst.Node)
+			}
+			if t+lat > p.Now() {
+				p.SleepUntil(t + lat)
 			}
 			if n.core != nil {
 				_, coreDone := n.core.Reserve(p.Now(), cb/cfg.CoreBandwidth)

@@ -33,7 +33,7 @@ type SpanID int
 // the Recorder is not safe for real concurrent use outside the simulator.
 type Recorder struct {
 	events []Event
-	spans  []openSpan          // indexed by SpanID-1
+	spans  []openSpan           // indexed by SpanID-1
 	open   map[spanKey][]SpanID // FIFO queues of not-yet-closed occurrences
 	nOpen  int
 }
