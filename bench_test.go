@@ -19,6 +19,7 @@ import (
 )
 
 func BenchmarkFig3P2PBandwidth(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := bench.Fig3(io.Discard)
 		if err != nil {
@@ -31,6 +32,7 @@ func BenchmarkFig3P2PBandwidth(b *testing.B) {
 }
 
 func BenchmarkFig5CollectiveBandwidth(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := bench.Fig5(io.Discard)
 		if err != nil {
@@ -44,6 +46,7 @@ func BenchmarkFig5CollectiveBandwidth(b *testing.B) {
 }
 
 func BenchmarkFig6Timeline(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := bench.Fig6(io.Discard)
 		if err != nil {
@@ -66,6 +69,7 @@ func BenchmarkFig6Timeline(b *testing.B) {
 }
 
 func BenchmarkTable1Variants(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := bench.Table1(io.Discard, nil)
 		if err != nil {
@@ -80,6 +84,7 @@ func BenchmarkTable1Variants(b *testing.B) {
 }
 
 func BenchmarkTable2NDupSweep(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := bench.Table2(io.Discard, nil)
 		if err != nil {
@@ -92,6 +97,7 @@ func BenchmarkTable2NDupSweep(b *testing.B) {
 }
 
 func BenchmarkTable3PPNSweep(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := bench.Table3(io.Discard, 0)
 		if err != nil {
@@ -110,6 +116,7 @@ func BenchmarkTable3PPNSweep(b *testing.B) {
 }
 
 func BenchmarkTable4CommAnalysis(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := bench.Table4(io.Discard, 0)
 		if err != nil {
@@ -123,6 +130,7 @@ func BenchmarkTable4CommAnalysis(b *testing.B) {
 }
 
 func BenchmarkTable5Cannon25D(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := bench.Table5(io.Discard, 0)
 		if err != nil {
@@ -146,6 +154,7 @@ func BenchmarkTable5Cannon25D(b *testing.B) {
 // virtual time versus N_DUP at the paper's main size, isolating the
 // nonblocking-overlap knob.
 func BenchmarkKernelScaling(b *testing.B) {
+	b.ReportAllocs()
 	for _, nd := range []int{1, 2, 4, 8} {
 		nd := nd
 		b.Run(map[int]string{1: "ndup1", 2: "ndup2", 4: "ndup4", 8: "ndup8"}[nd], func(b *testing.B) {
@@ -163,6 +172,7 @@ func BenchmarkKernelScaling(b *testing.B) {
 
 // BenchmarkSolverOverlap regenerates the pipelined-CG extension table.
 func BenchmarkSolverOverlap(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := bench.Solver(io.Discard)
 		if err != nil {
@@ -175,6 +185,7 @@ func BenchmarkSolverOverlap(b *testing.B) {
 
 // BenchmarkSparseKernel regenerates the block-sparse extension table.
 func BenchmarkSparseKernel(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := bench.Sparse(io.Discard, 2000)
 		if err != nil {
@@ -187,6 +198,7 @@ func BenchmarkSparseKernel(b *testing.B) {
 
 // BenchmarkAblations regenerates the design-knob sensitivity table.
 func BenchmarkAblations(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := bench.Ablate(io.Discard, 0)
 		if err != nil {

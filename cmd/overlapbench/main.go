@@ -12,8 +12,10 @@
 // ablate (design-knob sensitivity), sparse (block-sparse SUMMA), scaling
 // (strong scaling), noise (the skew-resilience experiment: Fig. 5's cases
 // re-measured under seeded machine noise from internal/faults — also
-// reachable as the -noise flag) and report (all paper claims checked with
-// verdicts); "all" (the default) runs everything except report. -n overrides the
+// reachable as the -noise flag), paperscale (64-node collectives plus
+// kernel/application strong scaling to 216 nodes) and report (all paper
+// claims checked with verdicts); "all" (the default) runs everything except
+// report. -n overrides the
 // matrix dimension for the kernel tables (default: the paper's 1hsg_70,
 // N = 7645). -csv also writes each experiment's data as <dir>/<id>.csv.
 //
@@ -31,6 +33,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"commoverlap/internal/bench"
@@ -59,13 +63,49 @@ func writeFile(path string, write func(w io.Writer) error) error {
 }
 
 func main() {
+	// Error paths that must still flush the -cpuprofile/-memprofile defers
+	// set exitCode and return instead of calling os.Exit directly; this
+	// deferred Exit is registered first, so it runs after the profile
+	// writers.
+	exitCode := 0
+	defer func() {
+		if exitCode != 0 {
+			os.Exit(exitCode)
+		}
+	}()
 	n := flag.Int("n", 0, "matrix dimension for kernel tables (0 = paper's 1hsg_70)")
 	csvDir := flag.String("csv", "", "directory to write <experiment>.csv files into")
 	tracePath := flag.String("trace", "", "write the fig6 timeline as Chrome trace JSON to this file")
 	showMetrics := flag.Bool("metrics", false, "accumulate and print virtual-time metrics across the runs")
 	noiseOnly := flag.Bool("noise", false, "run the skew-resilience (machine noise) experiment")
 	validate := flag.String("validate-trace", "", "validate a Chrome trace JSON file and exit")
+	workers := flag.Int("workers", 0, "replica-pool width (0 = OVERLAP_WORKERS or GOMAXPROCS, 1 = sequential)")
+	benchOut := flag.String("bench-out", "BENCH_wallclock.json", "output path for the bench-host artifact")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+	bench.Workers = *workers
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			runtime.GC()
+			if err := writeFile(path, pprof.WriteHeapProfile); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 	if *validate != "" {
 		f, err := os.Open(*validate)
 		if err == nil {
@@ -82,6 +122,20 @@ func main() {
 		return
 	}
 	exps := flag.Args()
+	if len(exps) > 0 && exps[0] == "bench-host" {
+		if err := runBenchHost(*benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-host: %v\n", err)
+			exitCode = 1
+		}
+		return
+	}
+	if len(exps) > 0 && exps[0] == "bench-diff" {
+		if err := runBenchDiff(exps[1:]); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-diff: %v\n", err)
+			exitCode = 1
+		}
+		return
+	}
 	if *noiseOnly {
 		exps = append(exps, "noise")
 	}
@@ -211,6 +265,14 @@ func main() {
 	run("ablate", func() error { _, err := bench.Ablate(os.Stdout, *n); return err })
 	run("sparse", func() error { _, err := bench.Sparse(os.Stdout, 0); return err })
 	run("scaling", func() error { _, err := bench.Scaling(os.Stdout, *n); return err })
+	run("paperscale", func() error {
+		res, err := bench.PaperScale(os.Stdout, *n)
+		if err != nil {
+			return err
+		}
+		csvOut("paperscale", func(f io.Writer) error { return res.WriteCSV(f) })
+		return nil
+	})
 	run("noise", func() error {
 		res, err := bench.Noise(os.Stdout)
 		if err != nil {
@@ -237,4 +299,46 @@ func main() {
 		fmt.Println("Virtual-time metrics accumulated across the runs:")
 		bench.Metrics.WriteText(os.Stdout)
 	}
+}
+
+// runBenchHost measures the simulator's host performance (micro benchmarks
+// plus sequential-vs-parallel regeneration times for every experiment) and
+// writes the BENCH_wallclock.json artifact.
+func runBenchHost(outPath string) error {
+	fmt.Printf("Host benchmark (%d cores):\n", runtime.NumCPU())
+	rep, err := bench.HostBench(os.Stdout)
+	if err != nil {
+		return err
+	}
+	if err := writeFile(outPath, rep.WriteJSON); err != nil {
+		return err
+	}
+	fmt.Printf("  [wrote %s: full sweep %.1fs sequential, %.1fs on %d workers (%.2fx)]\n",
+		outPath, rep.TotalSequentialS, rep.TotalParallelS, rep.Workers, rep.Speedup)
+	return nil
+}
+
+// runBenchDiff prints a report-only comparison of two bench-host artifacts
+// (base then current). Wall-clock numbers are hardware-dependent, so the
+// diff never fails on regressions — only on unreadable input.
+func runBenchDiff(paths []string) error {
+	if len(paths) != 2 {
+		return fmt.Errorf("usage: overlapbench bench-diff <base.json> <current.json>")
+	}
+	var reps [2]bench.HostReport
+	for i, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		reps[i], err = bench.ReadHostReport(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+	}
+	bench.DiffHostReports(os.Stdout, reps[0], reps[1])
+	return nil
 }

@@ -26,6 +26,11 @@
 // Chrome trace JSON; it requires a single-run selection (-scenario and
 // -policy, with -n 1 for the random policy), since one trace file can only
 // hold one schedule.
+//
+// Schedules fan out across the replica pool (-workers, default GOMAXPROCS;
+// every run is an isolated engine) and are reported in enumeration order,
+// so output and exit status are identical at any worker count.
+// -cpuprofile/-memprofile write pprof profiles of the exploration itself.
 package main
 
 import (
@@ -33,6 +38,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"commoverlap/internal/check"
@@ -88,8 +95,46 @@ func main() {
 		metrics  = flag.Bool("metrics", false, "print per-run resource utilization")
 		traceOut = flag.String("trace", "", "export the run's message events as Chrome trace JSON (single run only)")
 		faultsIn = flag.String("faults", "", "run under a fault profile: noise, storm, loss, or all")
+		workers  = flag.Int("workers", 0, "replica-pool width (0 = OVERLAP_WORKERS or GOMAXPROCS, 1 = sequential)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	check.Workers = *workers
+	exitCode := 0
+	defer func() {
+		if exitCode != 0 {
+			os.Exit(exitCode)
+		}
+	}()
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		path := *memProf
+		defer func() {
+			runtime.GC()
+			f, err := os.Create(path)
+			if err == nil {
+				err = pprof.WriteHeapProfile(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "simcheck: -memprofile %s: %v\n", path, err)
+			}
+		}()
+	}
 
 	if *list {
 		fmt.Println("scenarios:")
@@ -205,6 +250,6 @@ func main() {
 	}
 	fmt.Printf("), %d failed\n", len(sum.Failures))
 	if len(sum.Failures) > 0 {
-		os.Exit(1)
+		exitCode = 1
 	}
 }

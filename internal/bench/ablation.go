@@ -70,18 +70,24 @@ func Ablate(w io.Writer, n int) ([]AblationRow, error) {
 
 	// 1. Protocol chunk size: too coarse costs pipelining, too fine costs
 	//    per-chunk overheads.
-	for _, chunk := range []int64{64 << 10, 256 << 10, 1 << 20, 4 << 20} {
+	chunks := []int64{64 << 10, 256 << 10, 1 << 20, 4 << 20}
+	cells, err := parcases(len(chunks), func(i int) (float64, error) {
 		cfg := simnet.DefaultConfig(1)
-		cfg.ChunkBytes = chunk
-		tf, err := kernelWithCfg(cfg, n, 4, 4, 1)
-		if err != nil {
-			return rows, err
-		}
-		add("chunk bytes", byteLabel(chunk), tf)
+		cfg.ChunkBytes = chunks[i]
+		return kernelWithCfg(cfg, n, 4, 4, 1)
+	})
+	if err != nil {
+		return rows, err
+	}
+	for i, chunk := range chunks {
+		add("chunk bytes", byteLabel(chunk), cells[i])
 	}
 
 	// 2. Reduce algorithm switch point: forcing binomial trees for the
-	//    kernel's ~7 MB bands shows why Rabenseifner matters.
+	//    kernel's ~7 MB bands shows why Rabenseifner matters. This knob
+	//    mutates the package-global mpi.ReduceLongMsg, which every concurrent
+	//    replica would observe — the one ablation group that must stay
+	//    sequential.
 	savedR := mpi.ReduceLongMsg
 	for _, lim := range []int64{64 << 10, 1 << 30} {
 		mpi.ReduceLongMsg = lim
@@ -101,49 +107,51 @@ func Ablate(w io.Writer, n int) ([]AblationRow, error) {
 	// 3. Rank placement: the paper's "natural" assignment keeps each mesh
 	//    column (the reduce fibers) mostly on one node; round-robin spreads
 	//    it across nodes.
-	for _, rr := range []bool{false, true} {
-		tf, err := kernelPlacement(simnet.DefaultConfig(1), n, 6, 4, 4, rr)
-		if err != nil {
-			return rows, err
-		}
-		label := "natural"
-		if rr {
-			label = "round-robin"
-		}
-		add("placement (PPN=4)", label, tf)
+	cells, err = parcases(2, func(i int) (float64, error) {
+		return kernelPlacement(simnet.DefaultConfig(1), n, 6, 4, 4, i == 1)
+	})
+	if err != nil {
+		return rows, err
 	}
+	add("placement (PPN=4)", "natural", cells[0])
+	add("placement (PPN=4)", "round-robin", cells[1])
 
 	// 4. Reduction arithmetic rate: the kernel is reduce-bound, so the
 	//    single-core combine rate is a first-order term.
-	for _, scale := range []float64{0.5, 1, 2} {
+	scales := []float64{0.5, 1, 2}
+	cells, err = parcases(len(scales), func(i int) (float64, error) {
 		cfg := simnet.DefaultConfig(1)
-		cfg.ReduceRate *= scale
-		tf, err := kernelWithCfg(cfg, n, 4, 4, 1)
-		if err != nil {
-			return rows, err
-		}
-		label := map[float64]string{0.5: "0.5x", 1: "1x", 2: "2x"}[scale]
-		add("reduce arith rate", label, tf)
+		cfg.ReduceRate *= scales[i]
+		return kernelWithCfg(cfg, n, 4, 4, 1)
+	})
+	if err != nil {
+		return rows, err
+	}
+	for i, scale := range scales {
+		add("reduce arith rate", map[float64]string{0.5: "0.5x", 1: "1x", 2: "2x"}[scale], cells[i])
 	}
 
 	// 5. Fabric core capacity: a non-blocking core vs 2:1 and 4:1
 	//    oversubscription (total node bandwidth / core bandwidth).
-	for _, factor := range []float64{0, 2, 4} {
+	factors := []float64{0, 2, 4}
+	cells, err = parcases(len(factors), func(i int) (float64, error) {
 		cfg := simnet.DefaultConfig(1)
+		if factors[i] > 0 {
+			cfg.CoreBandwidth = 64 * cfg.WireBandwidth / factors[i]
+		}
+		return kernelWithCfg(cfg, n, 4, 4, 1)
+	})
+	if err != nil {
+		return rows, err
+	}
+	for i, factor := range factors {
 		label := "non-blocking"
-		if factor > 0 {
-			cfg.CoreBandwidth = 64 * cfg.WireBandwidth / factor
-			if factor == 2 {
-				label = "2:1 oversub"
-			} else {
-				label = "4:1 oversub"
-			}
+		if factor == 2 {
+			label = "2:1 oversub"
+		} else if factor == 4 {
+			label = "4:1 oversub"
 		}
-		tf, err := kernelWithCfg(cfg, n, 4, 4, 1)
-		if err != nil {
-			return rows, err
-		}
-		add("fabric core", label, tf)
+		add("fabric core", label, cells[i])
 	}
 	return rows, nil
 }

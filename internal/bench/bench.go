@@ -19,15 +19,36 @@ import (
 	"commoverlap/internal/mesh"
 	"commoverlap/internal/metrics"
 	"commoverlap/internal/mpi"
+	"commoverlap/internal/runner"
 	"commoverlap/internal/sim"
 	"commoverlap/internal/simnet"
 )
 
 // Metrics, when non-nil, is installed as the virtual-time metrics sink of
 // every simulated job the experiments run (overlapbench -metrics sets it).
-// Experiments run jobs sequentially, so one registry can accumulate across
-// a whole experiment without races.
+// A non-nil registry forces the experiments' replica pool down to one
+// worker, so the single registry accumulates across a whole experiment in
+// deterministic order without races.
 var Metrics *metrics.Registry
+
+// Workers bounds how many independent simulation replicas (experiment
+// cells) run concurrently: 0 picks the runner default (OVERLAP_WORKERS or
+// GOMAXPROCS), 1 forces the sequential order. Each cell is an isolated
+// sim.Engine with no shared state, and results are keyed by case index, so
+// the emitted tables and CSVs are byte-identical at any worker count.
+var Workers int
+
+// parcases fans an experiment's independent cells across the replica pool
+// and returns the results in case order. The shared metrics registry (when
+// installed) is the one piece of cross-job state, so it pins the pool to
+// one worker to keep its accumulation order deterministic.
+func parcases[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	w := Workers
+	if Metrics != nil {
+		w = 1
+	}
+	return runner.Map(n, w, fn)
+}
 
 // System names a molecular test system from the paper (Table I): the
 // matrix dimension is all the kernel needs.

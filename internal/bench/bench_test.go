@@ -439,6 +439,17 @@ func TestCSVWriters(t *testing.T) {
 	if !strings.Contains(sb.String(), "1,10.00,2.000,5.000,0.0100,0.0200") {
 		t.Errorf("table4 csv:\n%s", sb.String())
 	}
+
+	sb.Reset()
+	ps := PaperScaleResult{CollNodes: 64, CollSize: 1 << 20, CollBW: [3]float64{1000, 2000, 3000},
+		Rows: []PaperScaleRow{{MeshEdge: 4, Ranks: 64, KernelND1: 20, KernelND4: 27, PurifyTFlops: 26.9, PurifyIters: 2}}}
+	if err := ps.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "collective,,64,1000.0,2000.0,3000.0") ||
+		!strings.Contains(sb.String(), "scaling,4x4x4,64,,,,20.000,27.000,26.900") {
+		t.Errorf("paperscale csv:\n%s", sb.String())
+	}
 }
 
 func TestSparseExperiment(t *testing.T) {
@@ -500,6 +511,35 @@ func TestScalingShape(t *testing.T) {
 	for i := 1; i < len(rows); i++ {
 		if rows[i].Efficiency > rows[i-1].Efficiency*1.05 {
 			t.Errorf("efficiency rose with scale: %+v", rows)
+		}
+	}
+}
+
+func TestPaperScaleExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64..216-node sweep takes seconds")
+	}
+	res, err := PaperScale(io.Discard, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The overlap argument must survive the deep reduction trees of the
+	// 64-node machine: both overlap cases beat the blocking collective.
+	if res.CollBW[NonblockingOverlap] <= res.CollBW[Blocking] ||
+		res.CollBW[MultiPPNOverlap] <= res.CollBW[Blocking] {
+		t.Errorf("overlap lost at %d nodes: %+v", res.CollNodes, res.CollBW)
+	}
+	if len(res.Rows) != len(paperScaleMeshes) {
+		t.Fatalf("got %d scaling rows, want %d", len(res.Rows), len(paperScaleMeshes))
+	}
+	for _, r := range res.Rows {
+		if r.KernelND4 <= 0 || r.KernelND1 <= 0 || r.PurifyTFlops <= 0 {
+			t.Fatalf("non-positive throughput: %+v", r)
+		}
+		// The application-averaged kernel matches the single-shot run: the
+		// simulator is deterministic, so purification only repeats it.
+		if rel := r.PurifyTFlops/r.KernelND4 - 1; rel > 0.05 || rel < -0.05 {
+			t.Errorf("mesh %d^3: purify %.2f TF vs single-shot %.2f TF", r.MeshEdge, r.PurifyTFlops, r.KernelND4)
 		}
 	}
 }

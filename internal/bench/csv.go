@@ -159,3 +159,19 @@ func (r NoiseResult) WriteCSV(w io.Writer) error {
 	}
 	return nil
 }
+
+// WriteCSV emits the paper-scale experiment: the 64-node collective
+// bandwidths, then one row per strong-scaling mesh.
+func (r PaperScaleResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "section,mesh,nodes,blocking_MBps,overlap4_MBps,ppn4_MBps,ndup1_tflops,ndup4_tflops,purify_nd4_tflops"); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "collective,,%d,%.1f,%.1f,%.1f,,,\n",
+		r.CollNodes, r.CollBW[Blocking], r.CollBW[NonblockingOverlap], r.CollBW[MultiPPNOverlap])
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "scaling,%dx%dx%d,%d,,,,%.3f,%.3f,%.3f\n",
+			row.MeshEdge, row.MeshEdge, row.MeshEdge, row.Ranks,
+			row.KernelND1, row.KernelND4, row.PurifyTFlops)
+	}
+	return nil
+}

@@ -37,36 +37,35 @@ func Solver(w io.Writer) ([]SolverRow, error) {
 	)
 	fprintf(w, "Solver: standard vs pipelined CG, %d iterations, %d elements/rank\n", iters, perRank)
 	fprintf(w, "%6s %12s %12s %9s\n", "ranks", "standard", "pipelined", "speedup")
-	rows := make([]SolverRow, 0, len(SolverRanks))
-	for _, ranks := range SolverRanks {
+	cells, err := parcases(len(SolverRanks)*2, func(i int) (float64, error) {
+		ranks := SolverRanks[i/2]
+		variant := i % 2
 		n := ranks * perRank
-		var tStd, tPip float64
-		for variant := 0; variant < 2; variant++ {
-			variant := variant
-			err := job(ranks, ranks, nil, func(pr *mpi.Proc) {
-				cg, err := solver.New(pr, pr.World(), n, solver.NewStencil(halfBW), false, 1)
-				if err != nil {
-					panic(err)
-				}
-				pr.World().Barrier()
-				var r solver.Result
-				if variant == 0 {
-					r = cg.SolveStandard(nil, nil, 0, iters)
-				} else {
-					r = cg.SolvePipelined(nil, nil, 0, iters)
-				}
-				if pr.Rank() == 0 {
-					if variant == 0 {
-						tStd = r.Time
-					} else {
-						tPip = r.Time
-					}
-				}
-			})
+		var t float64
+		err := job(ranks, ranks, nil, func(pr *mpi.Proc) {
+			cg, err := solver.New(pr, pr.World(), n, solver.NewStencil(halfBW), false, 1)
 			if err != nil {
-				return rows, err
+				panic(err)
 			}
-		}
+			pr.World().Barrier()
+			var r solver.Result
+			if variant == 0 {
+				r = cg.SolveStandard(nil, nil, 0, iters)
+			} else {
+				r = cg.SolvePipelined(nil, nil, 0, iters)
+			}
+			if pr.Rank() == 0 {
+				t = r.Time
+			}
+		})
+		return t, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]SolverRow, 0, len(SolverRanks))
+	for ri, ranks := range SolverRanks {
+		tStd, tPip := cells[2*ri], cells[2*ri+1]
 		row := SolverRow{Ranks: ranks, StandardTime: tStd, PipelinedTime: tPip, Speedup: tStd / tPip}
 		rows = append(rows, row)
 		fprintf(w, "%6d %10.3fms %10.3fms %9.2f\n", ranks, tStd*1e3, tPip*1e3, row.Speedup)
@@ -109,35 +108,33 @@ func Algos(w io.Writer, n int) ([]AlgoRow, error) {
 		})
 		return core.KernelFlops(n) / worst / 1e12, err
 	}
-	s1, err := summa(1)
+	cells, err := parcases(6, func(i int) (float64, error) {
+		switch i {
+		case 0:
+			return summa(1)
+		case 1:
+			return summa(4)
+		case 2:
+			kr, err := Kernel(core.Baseline, n, 4, 1, 1)
+			return kr.TFlops, err
+		case 3:
+			kr, err := Kernel(core.Optimized, n, 4, 4, 1)
+			return kr.TFlops, err
+		case 4:
+			kr, err := Kernel25(4, 4, n, 1, 1)
+			return kr.TFlops, err
+		default:
+			kr, err := Kernel25(4, 4, n, 4, 1)
+			return kr.TFlops, err
+		}
+	})
 	if err != nil {
 		return rows, err
 	}
-	s4, err := summa(4)
-	if err != nil {
-		return rows, err
-	}
-	rows = append(rows, AlgoRow{Name: "2D SUMMA 8x8", Ranks: 64, TFlopsND1: s1, TFlopsND4: s4})
-
-	k1, err := Kernel(core.Baseline, n, 4, 1, 1)
-	if err != nil {
-		return rows, err
-	}
-	k4, err := Kernel(core.Optimized, n, 4, 4, 1)
-	if err != nil {
-		return rows, err
-	}
-	rows = append(rows, AlgoRow{Name: "3D kernel 4x4x4", Ranks: 64, TFlopsND1: k1.TFlops, TFlopsND4: k4.TFlops})
-
-	c1, err := Kernel25(4, 4, n, 1, 1)
-	if err != nil {
-		return rows, err
-	}
-	c4, err := Kernel25(4, 4, n, 4, 1)
-	if err != nil {
-		return rows, err
-	}
-	rows = append(rows, AlgoRow{Name: "2.5D Cannon 4x4x4", Ranks: 64, TFlopsND1: c1.TFlops, TFlopsND4: c4.TFlops})
+	rows = append(rows,
+		AlgoRow{Name: "2D SUMMA 8x8", Ranks: 64, TFlopsND1: cells[0], TFlopsND4: cells[1]},
+		AlgoRow{Name: "3D kernel 4x4x4", Ranks: 64, TFlopsND1: cells[2], TFlopsND4: cells[3]},
+		AlgoRow{Name: "2.5D Cannon 4x4x4", Ranks: 64, TFlopsND1: cells[4], TFlopsND4: cells[5]})
 
 	for _, r := range rows {
 		fprintf(w, "%-22s %10.2f %10.2f\n", r.Name, r.TFlopsND1, r.TFlopsND4)
@@ -166,16 +163,20 @@ func Scaling(w io.Writer, n int) ([]ScalingRow, error) {
 	fprintf(w, "Strong scaling at N=%d (one rank per node)\n", n)
 	fprintf(w, "%6s %6s %10s %10s %12s\n", "mesh", "ranks", "N_DUP=1", "N_DUP=4", "ND4 eff.")
 	var rows []ScalingRow
+	meshes := []int{2, 3, 4, 5, 6}
+	cells, err := parcases(len(meshes)*2, func(i int) (KernelRun, error) {
+		ndup := 1
+		if i%2 == 1 {
+			ndup = 4
+		}
+		return Kernel(core.Optimized, n, meshes[i/2], ndup, 1)
+	})
+	if err != nil {
+		return rows, err
+	}
 	var base float64
-	for _, p := range []int{2, 3, 4, 5, 6} {
-		k1, err := Kernel(core.Optimized, n, p, 1, 1)
-		if err != nil {
-			return rows, err
-		}
-		k4, err := Kernel(core.Optimized, n, p, 4, 1)
-		if err != nil {
-			return rows, err
-		}
+	for pi, p := range meshes {
+		k1, k4 := cells[2*pi], cells[2*pi+1]
 		row := ScalingRow{MeshEdge: p, Ranks: p * p * p, TFlopsND1: k1.TFlops, TFlopsND4: k4.TFlops}
 		if base == 0 {
 			base = k4.TFlops / float64(row.Ranks)

@@ -65,19 +65,31 @@ func Fig5(w io.Writer) (Fig5Result, error) {
 		}
 	}
 	fprintf(w, "\n")
+	type cell struct {
+		bw   float64
+		util UtilStats
+	}
+	// Cases per size: (op, case) in row order, 6 cells per size row.
+	cells, err := parcases(len(res.Sizes)*len(ops)*3, func(i int) (cell, error) {
+		size := res.Sizes[i/(len(ops)*3)]
+		op := ops[i/3%len(ops)]
+		cc := CollCase(i % 3)
+		bw, util, err := collectiveRun(op, cc, size)
+		return cell{bw, util}, err
+	})
+	if err != nil {
+		return res, err
+	}
 	for i, size := range res.Sizes {
 		fprintf(w, "%10d", size)
-		for opi, op := range ops {
+		for opi := range ops {
 			for c := Blocking; c <= MultiPPNOverlap; c++ {
-				bw, util, err := collectiveRun(op, c, size)
-				if err != nil {
-					return res, err
-				}
-				res.BW[opi][c] = append(res.BW[opi][c], bw/1e6)
+				cl := cells[i*len(ops)*3+opi*3+int(c)]
+				res.BW[opi][c] = append(res.BW[opi][c], cl.bw/1e6)
 				if i == len(res.Sizes)-1 {
-					res.Util[opi][c] = util
+					res.Util[opi][c] = cl.util
 				}
-				fprintf(w, "  %-36.0f", bw/1e6)
+				fprintf(w, "  %-36.0f", cl.bw/1e6)
 			}
 		}
 		fprintf(w, "\n")
@@ -103,7 +115,12 @@ func CollectiveBandwidth(op string, cc CollCase, total int64) (float64, error) {
 
 // collectiveRun measures one Fig. 5 cell and the run's lane utilization.
 func collectiveRun(op string, cc CollCase, total int64) (float64, UtilStats, error) {
-	p := fig5Nodes
+	return collectiveRunNodes(op, cc, total, fig5Nodes)
+}
+
+// collectiveRunNodes is collectiveRun on a machine of p nodes — the Fig. 5
+// micro-benchmark generalized to the paper-scale sweep.
+func collectiveRunNodes(op string, cc CollCase, total int64, p int) (float64, UtilStats, error) {
 	ppn, ndup := 1, 1
 	switch cc {
 	case NonblockingOverlap:

@@ -43,41 +43,62 @@ type Fig6Result struct {
 func Fig6(w io.Writer) (Fig6Result, error) {
 	var res Fig6Result
 	const total = 8 << 20
-	for _, op := range []string{"reduce", "bcast"} {
+	ops := []string{"reduce", "bcast"}
+	refs := []struct {
+		label string
+		bytes int64
+		nb    bool
+	}{
+		{"blocking 8MB", total, false},
+		{"nonblocking 8MB", total, true},
+		{"blocking 2MB", total / 4, false},
+		{"nonblocking 2MB", total / 4, true},
+	}
+	// Six independent jobs per op: the four single-shot references, the
+	// nonblocking overlap case and the 4-PPN case.
+	const jobsPerOp = 6
+	type caseOut struct {
+		entries []TimelineEntry
+		util    CaseUtil
+	}
+	cases, err := parcases(len(ops)*jobsPerOp, func(i int) (caseOut, error) {
+		op := ops[i/jobsPerOp]
+		var (
+			es   []TimelineEntry
+			u    UtilStats
+			name string
+			err  error
+		)
+		switch j := i % jobsPerOp; {
+		case j < len(refs):
+			// Blocking and nonblocking single-shot references.
+			es, u, err = timelineSingle(op, refs[j].label, refs[j].bytes, refs[j].nb)
+			name = refs[j].label
+		case j == len(refs):
+			// Nonblocking overlap: four 2 MB operations on duplicated comms.
+			es, u, err = timelineOverlap(op)
+		default:
+			// 4-PPN overlap: four processes per node, each a blocking 2 MB op.
+			es, u, err = timelinePPN(op)
+		}
+		if err != nil {
+			return caseOut{}, err
+		}
+		if name == "" {
+			name = es[0].Case
+		}
+		return caseOut{entries: es, util: CaseUtil{Case: name, Util: u}}, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for opi, op := range ops {
 		var entries []TimelineEntry
 		var utils []CaseUtil
-		// Blocking and nonblocking single-shot references.
-		for _, ref := range []struct {
-			label string
-			bytes int64
-			nb    bool
-		}{
-			{"blocking 8MB", total, false},
-			{"nonblocking 8MB", total, true},
-			{"blocking 2MB", total / 4, false},
-			{"nonblocking 2MB", total / 4, true},
-		} {
-			es, u, err := timelineSingle(op, ref.label, ref.bytes, ref.nb)
-			if err != nil {
-				return res, err
-			}
-			entries = append(entries, es...)
-			utils = append(utils, CaseUtil{Case: ref.label, Util: u})
+		for _, c := range cases[opi*jobsPerOp : (opi+1)*jobsPerOp] {
+			entries = append(entries, c.entries...)
+			utils = append(utils, c.util)
 		}
-		// Nonblocking overlap: four 2 MB operations on duplicated comms.
-		es, u, err := timelineOverlap(op)
-		if err != nil {
-			return res, err
-		}
-		entries = append(entries, es...)
-		utils = append(utils, CaseUtil{Case: es[0].Case, Util: u})
-		// 4-PPN overlap: four processes per node, each a blocking 2 MB op.
-		es, u, err = timelinePPN(op)
-		if err != nil {
-			return res, err
-		}
-		entries = append(entries, es...)
-		utils = append(utils, CaseUtil{Case: es[0].Case, Util: u})
 		if op == "reduce" {
 			res.Reduce, res.ReduceUtil = entries, utils
 		} else {

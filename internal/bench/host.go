@@ -1,0 +1,270 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+	"time"
+
+	"commoverlap/internal/mpi"
+	"commoverlap/internal/runner"
+	"commoverlap/internal/sim"
+	"commoverlap/internal/simnet"
+)
+
+// Host-performance benchmark: where the paper's experiments measure the
+// simulated machine in virtual time, this file measures the simulator
+// itself in wall time — the regeneration cost of the evaluation, micro
+// benchmarks of the DES hot paths, and the sequential-vs-parallel speedup
+// of the replica pool. The result is the BENCH_wallclock.json artifact that
+// CI regenerates and diffs against the committed baseline, so host-side
+// regressions show up in review rather than as slowly rotting CI budgets.
+
+// MicroBench is one DES hot-path micro benchmark result.
+type MicroBench struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// ExperimentTiming is one experiment's regeneration wall time, sequential
+// and on the replica pool.
+type ExperimentTiming struct {
+	Name        string  `json:"name"`
+	SequentialS float64 `json:"sequential_s"`
+	ParallelS   float64 `json:"parallel_s"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// HostReport is the full host-performance artifact.
+type HostReport struct {
+	GoVersion        string             `json:"go_version"`
+	GOOS             string             `json:"goos"`
+	GOARCH           string             `json:"goarch"`
+	Cores            int                `json:"cores"`
+	Workers          int                `json:"workers"`
+	Micro            []MicroBench       `json:"micro"`
+	Experiments      []ExperimentTiming `json:"experiments"`
+	TotalSequentialS float64            `json:"total_sequential_s"`
+	TotalParallelS   float64            `json:"total_parallel_s"`
+	Speedup          float64            `json:"speedup"`
+}
+
+// hostExperiments is every simulation-backed experiment "all" runs, at the
+// paper's problem sizes, output discarded — the timed payload.
+var hostExperiments = []struct {
+	name string
+	run  func() error
+}{
+	{"fig3", func() error { _, err := Fig3(nil); return err }},
+	{"fig5", func() error { _, err := Fig5(nil); return err }},
+	{"fig6", func() error { _, err := Fig6(nil); return err }},
+	{"table1", func() error { _, err := Table1(nil, nil); return err }},
+	{"table2", func() error { _, err := Table2(nil, nil); return err }},
+	{"table3", func() error { _, err := Table3(nil, 0); return err }},
+	{"table4", func() error { _, err := Table4(nil, 0); return err }},
+	{"table5", func() error { _, err := Table5(nil, 0); return err }},
+	{"solver", func() error { _, err := Solver(nil); return err }},
+	{"algos", func() error { _, err := Algos(nil, 0); return err }},
+	{"ablate", func() error { _, err := Ablate(nil, 0); return err }},
+	{"sparse", func() error { _, err := Sparse(nil, 0); return err }},
+	{"scaling", func() error { _, err := Scaling(nil, 0); return err }},
+	{"noise", func() error { _, err := Noise(nil); return err }},
+	{"paperscale", func() error { _, err := PaperScale(nil, 0); return err }},
+}
+
+// hostMicro are the DES hot-path micro benchmarks, mirroring the packages'
+// testing.B benchmarks so the artifact captures allocs/op without go test.
+var hostMicro = []struct {
+	name string
+	fn   func(b *testing.B)
+}{
+	{"sim/event-throughput-64proc", func(b *testing.B) {
+		b.ReportAllocs()
+		e := sim.NewEngine()
+		const procs = 64
+		stop := false
+		for i := 0; i < procs; i++ {
+			e.Spawn("p", func(p *sim.Proc) {
+				for !stop {
+					p.Sleep(1)
+				}
+			})
+		}
+		e.Spawn("ctl", func(p *sim.Proc) {
+			p.Sleep(float64(b.N) / procs)
+			stop = true
+		})
+		b.ResetTimer()
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}},
+	{"mpi/allreduce-64rank-1MB", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := job(16, 64, nil, func(p *mpi.Proc) {
+				p.World().Allreduce(mpi.Phantom(1<<20), mpi.OpSum)
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}},
+	{"simnet/p2p-stream-100msg", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := job(2, 2, nil, func(p *mpi.Proc) {
+				c := p.World()
+				if p.Rank() == 0 {
+					for m := 0; m < 100; m++ {
+						c.Send(1, m, mpi.Phantom(4096))
+					}
+				} else {
+					for m := 0; m < 100; m++ {
+						c.Recv(0, m, mpi.Phantom(4096))
+					}
+				}
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}},
+	{"simnet/transfer-16MB-chunked", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng := sim.NewEngine()
+			net, err := simnet.New(eng, simnet.DefaultConfig(2))
+			if err != nil {
+				b.Fatal(err)
+			}
+			a, bb := net.NewEndpoint(0), net.NewEndpoint(1)
+			_, delivered := net.Transfer(a, bb, 16<<20)
+			eng.Spawn("sink", func(p *sim.Proc) { p.Wait(delivered) })
+			if err := eng.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}},
+}
+
+// HostBench measures the simulator's host performance: the micro benchmarks
+// and every experiment's regeneration time, sequential (Workers=1) and on
+// the replica pool (Workers=0, i.e. the runner default). progress (when
+// non-nil) receives one line per completed step.
+func HostBench(progress io.Writer) (HostReport, error) {
+	rep := HostReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Cores:     runtime.NumCPU(),
+		Workers:   runner.DefaultWorkers(),
+	}
+	for _, m := range hostMicro {
+		r := testing.Benchmark(m.fn)
+		rep.Micro = append(rep.Micro, MicroBench{
+			Name:        m.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+		fprintf(progress, "  micro %-32s %12.0f ns/op %8d allocs/op\n",
+			m.name, rep.Micro[len(rep.Micro)-1].NsPerOp, r.AllocsPerOp())
+	}
+	saved := Workers
+	defer func() { Workers = saved }()
+	for _, ex := range hostExperiments {
+		t := ExperimentTiming{Name: ex.name}
+		Workers = 1
+		start := time.Now()
+		if err := ex.run(); err != nil {
+			return rep, fmt.Errorf("%s (sequential): %w", ex.name, err)
+		}
+		t.SequentialS = time.Since(start).Seconds()
+		Workers = 0
+		start = time.Now()
+		if err := ex.run(); err != nil {
+			return rep, fmt.Errorf("%s (parallel): %w", ex.name, err)
+		}
+		t.ParallelS = time.Since(start).Seconds()
+		if t.ParallelS > 0 {
+			t.Speedup = t.SequentialS / t.ParallelS
+		}
+		rep.TotalSequentialS += t.SequentialS
+		rep.TotalParallelS += t.ParallelS
+		rep.Experiments = append(rep.Experiments, t)
+		fprintf(progress, "  %-12s sequential %6.2fs  parallel %6.2fs  %.2fx\n",
+			ex.name, t.SequentialS, t.ParallelS, t.Speedup)
+	}
+	if rep.TotalParallelS > 0 {
+		rep.Speedup = rep.TotalSequentialS / rep.TotalParallelS
+	}
+	return rep, nil
+}
+
+// WriteJSON emits the artifact (indented, trailing newline).
+func (r HostReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadHostReport parses a previously written artifact.
+func ReadHostReport(r io.Reader) (HostReport, error) {
+	var rep HostReport
+	err := json.NewDecoder(r).Decode(&rep)
+	return rep, err
+}
+
+// DiffHostReports writes a benchstat-style report-only comparison of two
+// artifacts: micro benchmarks and experiment timings side by side with the
+// relative change. Wall-clock numbers are hardware-dependent, so the diff
+// informs review instead of gating it — it never fails.
+func DiffHostReports(w io.Writer, base, cur HostReport) {
+	fprintf(w, "Host benchmark diff (base: %s %s/%s %d cores; current: %s %s/%s %d cores)\n",
+		base.GoVersion, base.GOOS, base.GOARCH, base.Cores,
+		cur.GoVersion, cur.GOOS, cur.GOARCH, cur.Cores)
+	fprintf(w, "\n%-34s %14s %14s %8s %10s %10s %8s\n",
+		"micro", "base ns/op", "cur ns/op", "delta", "base a/op", "cur a/op", "delta")
+	baseMicro := map[string]MicroBench{}
+	for _, m := range base.Micro {
+		baseMicro[m.Name] = m
+	}
+	for _, m := range cur.Micro {
+		bm, ok := baseMicro[m.Name]
+		if !ok {
+			fprintf(w, "%-34s %14s %14.0f %8s %10s %10d %8s\n", m.Name, "-", m.NsPerOp, "new", "-", m.AllocsPerOp, "new")
+			continue
+		}
+		fprintf(w, "%-34s %14.0f %14.0f %7.1f%% %10d %10d %7.1f%%\n",
+			m.Name, bm.NsPerOp, m.NsPerOp, pctDelta(bm.NsPerOp, m.NsPerOp),
+			bm.AllocsPerOp, m.AllocsPerOp, pctDelta(float64(bm.AllocsPerOp), float64(m.AllocsPerOp)))
+	}
+	fprintf(w, "\n%-12s %10s %10s %8s %10s %10s %8s\n",
+		"experiment", "base seq", "cur seq", "delta", "base par", "cur par", "delta")
+	baseExp := map[string]ExperimentTiming{}
+	for _, e := range base.Experiments {
+		baseExp[e.Name] = e
+	}
+	for _, e := range cur.Experiments {
+		be, ok := baseExp[e.Name]
+		if !ok {
+			fprintf(w, "%-12s %10s %9.2fs %8s %10s %9.2fs %8s\n", e.Name, "-", e.SequentialS, "new", "-", e.ParallelS, "new")
+			continue
+		}
+		fprintf(w, "%-12s %9.2fs %9.2fs %7.1f%% %9.2fs %9.2fs %7.1f%%\n",
+			e.Name, be.SequentialS, e.SequentialS, pctDelta(be.SequentialS, e.SequentialS),
+			be.ParallelS, e.ParallelS, pctDelta(be.ParallelS, e.ParallelS))
+	}
+	fprintf(w, "\ntotal: sequential %.2fs -> %.2fs (%+.1f%%), parallel %.2fs -> %.2fs (%+.1f%%), pool speedup %.2fx -> %.2fx\n",
+		base.TotalSequentialS, cur.TotalSequentialS, pctDelta(base.TotalSequentialS, cur.TotalSequentialS),
+		base.TotalParallelS, cur.TotalParallelS, pctDelta(base.TotalParallelS, cur.TotalParallelS),
+		base.Speedup, cur.Speedup)
+}
+
+func pctDelta(base, cur float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (cur - base) / base
+}

@@ -59,13 +59,16 @@ func Noise(w io.Writer) (NoiseResult, error) {
 		fprintf(w, "  %-28s", c)
 	}
 	fprintf(w, "\n")
+	cells, err := parcases(len(res.Amps)*3, func(i int) (float64, error) {
+		return noisyCollectiveRun("reduce", CollCase(i%3), noiseSize, res.Amps[i/3])
+	})
+	if err != nil {
+		return res, err
+	}
 	for i, amp := range res.Amps {
 		fprintf(w, "%-9.2f", amp)
 		for c := Blocking; c <= MultiPPNOverlap; c++ {
-			bw, err := noisyCollectiveRun("reduce", c, noiseSize, amp)
-			if err != nil {
-				return res, err
-			}
+			bw := cells[i*3+int(c)]
 			res.BW[c] = append(res.BW[c], bw/1e6)
 			res.Retention[c] = append(res.Retention[c], res.BW[c][i]/res.BW[c][0])
 			fprintf(w, "  %7.0f MB/s (%3.0f%%)       ", bw/1e6, 100*res.Retention[c][i])

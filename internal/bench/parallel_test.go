@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"commoverlap/internal/metrics"
+)
+
+// The determinism regression tests for the replica pool: the same
+// experiment, rendered text and CSV included, must be byte-identical
+// whether the cells run sequentially or fanned across several workers.
+// Determinism lives in the index keying, not the scheduling — these tests
+// pin that contract.
+
+// withWorkers runs fn under the given pool width, restoring the previous
+// setting (the package variable is process-global, so these tests cannot
+// run in parallel with each other).
+func withWorkers(t *testing.T, w int, fn func()) {
+	t.Helper()
+	saved := Workers
+	Workers = w
+	defer func() { Workers = saved }()
+	fn()
+}
+
+// TestParallelFigureSweepByteIdentical regenerates a full figure — table
+// text plus CSV — sequentially and at 8 workers and requires identical
+// bytes.
+func TestParallelFigureSweepByteIdentical(t *testing.T) {
+	render := func() string {
+		var sb strings.Builder
+		res, err := Fig5(&sb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.WriteCSV(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	var seq, par string
+	withWorkers(t, 1, func() { seq = render() })
+	withWorkers(t, 8, func() { par = render() })
+	if seq != par {
+		t.Fatalf("fig5 output differs between 1 and 8 workers:\n--- sequential ---\n%s\n--- 8 workers ---\n%s", seq, par)
+	}
+	if !strings.Contains(seq, "Figure 5") {
+		t.Fatalf("render produced no table:\n%s", seq)
+	}
+}
+
+// TestParallelKernelTableByteIdentical does the same for a kernel table
+// (different job shape: nested engines, world construction, placement) at a
+// reduced size so the test stays fast.
+func TestParallelKernelTableByteIdentical(t *testing.T) {
+	render := func() string {
+		var sb strings.Builder
+		if _, err := Table3(&sb, 2000); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	var seq, par string
+	withWorkers(t, 1, func() { seq = render() })
+	withWorkers(t, 8, func() { par = render() })
+	if seq != par {
+		t.Fatalf("table3 output differs between 1 and 8 workers:\n--- sequential ---\n%s\n--- 8 workers ---\n%s", seq, par)
+	}
+}
+
+// TestMetricsPinsPoolToOneWorker: a non-nil metrics registry is the one
+// piece of cross-replica state, so parcases must ignore the pool width
+// while it is installed (otherwise registry accumulation would race).
+func TestMetricsPinsPoolToOneWorker(t *testing.T) {
+	defer func() { Metrics = nil }()
+	Metrics = &metrics.Registry{}
+	withWorkers(t, 8, func() {
+		if _, err := Fig3(nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -31,36 +31,42 @@ func Sparse(w io.Writer, n int) ([]SparseRow, error) {
 	fprintf(w, "%8s %8s %12s %12s %12s\n", "halfBW", "fill%", "blocking", "pipelined", "dense2D")
 	var rows []SparseRow
 
-	denseTime, err := dense2DTime(q, n)
+	halfBWs := []int{8, 32, 128}
+	// Case 0 is the dense reference; cases 1.. are (halfBW, variant) cells.
+	// The banded operand is rebuilt per cell: sparse.CSR is read-only during
+	// the run but cheap to construct, and sharing one across replicas would
+	// be the only cross-cell state.
+	cells, err := parcases(1+len(halfBWs)*2, func(i int) (float64, error) {
+		if i == 0 {
+			return dense2DTime(q, n)
+		}
+		hb := halfBWs[(i-1)/2]
+		pipelined := (i-1)%2 == 1
+		h := sparse.BandedHamiltonian(n, hb, float64(hb)/3)
+		var worst float64
+		err := job(16, 16, nil, func(pr *mpi.Proc) {
+			env, err := core.NewSpEnv(pr, q, n, 2, 1, 0)
+			if err != nil {
+				panic(err)
+			}
+			blk := spBlockOf(h, q, env.M.I, env.M.J)
+			env.M.World.Barrier()
+			res := env.SymmSquareCubeSparse(blk, pipelined)
+			if res.Time > worst {
+				worst = res.Time
+			}
+		})
+		return worst, err
+	})
 	if err != nil {
 		return nil, err
 	}
-	for _, hb := range []int{8, 32, 128} {
+	denseTime := cells[0]
+	for hi, hb := range halfBWs {
 		h := sparse.BandedHamiltonian(n, hb, float64(hb)/3)
 		fill := 100 * float64(h.NNZ()) / (float64(n) * float64(n))
-		var times [2]float64
-		for v := 0; v < 2; v++ {
-			pipelined := v == 1
-			var worst float64
-			err := job(16, 16, nil, func(pr *mpi.Proc) {
-				env, err := core.NewSpEnv(pr, q, n, 2, 1, 0)
-				if err != nil {
-					panic(err)
-				}
-				blk := spBlockOf(h, q, env.M.I, env.M.J)
-				env.M.World.Barrier()
-				res := env.SymmSquareCubeSparse(blk, pipelined)
-				if res.Time > worst {
-					worst = res.Time
-				}
-			})
-			if err != nil {
-				return rows, err
-			}
-			times[v] = worst
-		}
 		row := SparseRow{HalfBW: hb, FillPercent: fill,
-			BlockingTime: times[0], PipelinedTime: times[1], DenseTime: denseTime}
+			BlockingTime: cells[1+2*hi], PipelinedTime: cells[2+2*hi], DenseTime: denseTime}
 		rows = append(rows, row)
 		fprintf(w, "%8d %8.2f %10.4fs %10.4fs %10.4fs\n",
 			hb, fill, row.BlockingTime, row.PipelinedTime, row.DenseTime)

@@ -36,22 +36,34 @@ func Table4(w io.Writer, n int) ([]Table4Row, error) {
 	fprintf(w, "Table IV: estimated vs actual inter-node communication, baseline kernel (N=%d)\n", n)
 	fprintf(w, "%4s %12s %12s %12s %10s %12s\n",
 		"PPN", "volume(MB)", "ReduceBW", "BcastBW", "est time", "actual time")
+	// Three independent jobs per configuration: the baseline kernel run and
+	// the two collective micro-benchmarks at that PPN (16 MB payload,
+	// 4 nodes, PPN column communicators — the Fig. 4 setup).
+	type cell struct {
+		kr       KernelRun
+		rbw, bbw float64
+	}
+	cells, err := parcases(len(Table3Configs)*3, func(i int) (cell, error) {
+		cfg := Table3Configs[i/3]
+		switch i % 3 {
+		case 0:
+			kr, err := Kernel(core.Baseline, n, cfg.Mesh, 1, cfg.PPN)
+			return cell{kr: kr}, err
+		case 1:
+			rbw, err := ppnCollectiveBW("reduce", cfg.PPN)
+			return cell{rbw: rbw}, err
+		default:
+			bbw, err := ppnCollectiveBW("bcast", cfg.PPN)
+			return cell{bbw: bbw}, err
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
 	rows := make([]Table4Row, 0, len(Table3Configs))
-	for _, cfg := range Table3Configs {
-		kr, err := Kernel(core.Baseline, n, cfg.Mesh, 1, cfg.PPN)
-		if err != nil {
-			return rows, err
-		}
-		// Micro-benchmark the achievable collective bandwidth at this PPN
-		// (16 MB payload, 4 nodes, PPN column communicators — Fig. 4 setup).
-		rbw, err := ppnCollectiveBW("reduce", cfg.PPN)
-		if err != nil {
-			return rows, err
-		}
-		bbw, err := ppnCollectiveBW("bcast", cfg.PPN)
-		if err != nil {
-			return rows, err
-		}
+	for ci, cfg := range Table3Configs {
+		kr := cells[3*ci].kr
+		rbw, bbw := cells[3*ci+1].rbw, cells[3*ci+2].bbw
 		perNode := float64(kr.Volume) / float64(kr.Nodes)
 		est := perNode*table4OpMix.reduce/rbw + perNode*table4OpMix.bcast/bbw
 		row := Table4Row{

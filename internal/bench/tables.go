@@ -34,19 +34,24 @@ func Table1(w io.Writer, systems []System) ([]Table1Row, error) {
 	fprintf(w, "Table I: SymmSquareCube performance (TFlops), %d^3 mesh, PPN=1\n", table1MeshEdge)
 	fprintf(w, "%-10s %-6s %8s %8s %8s %14s %20s\n",
 		"system", "N", "alg3", "alg4", "alg5", "alg5/alg4", "wire% a3/a4/a5")
+	variants := []core.Variant{core.Original, core.Baseline, core.Optimized}
+	cells, err := parcases(len(systems)*len(variants), func(i int) (KernelRun, error) {
+		v := variants[i%len(variants)]
+		ndup := 1
+		if v == core.Optimized {
+			ndup = 4
+		}
+		return Kernel(v, systems[i/len(variants)].N, table1MeshEdge, ndup, 1)
+	})
+	if err != nil {
+		return nil, err
+	}
 	rows := make([]Table1Row, 0, len(systems))
-	for _, sys := range systems {
+	for si, sys := range systems {
 		var row Table1Row
 		row.System = sys
-		for vi, v := range []core.Variant{core.Original, core.Baseline, core.Optimized} {
-			ndup := 1
-			if v == core.Optimized {
-				ndup = 4
-			}
-			kr, err := Kernel(v, sys.N, table1MeshEdge, ndup, 1)
-			if err != nil {
-				return rows, err
-			}
+		for vi := range variants {
+			kr := cells[si*len(variants)+vi]
 			row.TFlops[vi] = kr.TFlops
 			row.WireUtil[vi] = kr.WireUtil
 		}
@@ -80,15 +85,19 @@ func Table2(w io.Writer, systems []System) ([]Table2Row, error) {
 		fprintf(w, " %7s%d", "N_DUP=", nd)
 	}
 	fprintf(w, "\n")
+	nd := len(Table2NDups)
+	cells, err := parcases(len(systems)*nd, func(i int) (KernelRun, error) {
+		return Kernel(core.Optimized, systems[i/nd].N, table1MeshEdge, Table2NDups[i%nd], 1)
+	})
+	if err != nil {
+		return nil, err
+	}
 	rows := make([]Table2Row, 0, len(systems))
-	for _, sys := range systems {
+	for si, sys := range systems {
 		row := Table2Row{System: sys}
 		fprintf(w, "%-10s", sys.Name)
-		for _, nd := range Table2NDups {
-			kr, err := Kernel(core.Optimized, sys.N, table1MeshEdge, nd, 1)
-			if err != nil {
-				return rows, err
-			}
+		for j := range Table2NDups {
+			kr := cells[si*nd+j]
 			row.TFlops = append(row.TFlops, kr.TFlops)
 			fprintf(w, " %8.2f", kr.TFlops)
 		}
@@ -127,16 +136,20 @@ func Table3(w io.Writer, n int) ([]Table3Row, error) {
 	}
 	fprintf(w, "Table III: optimized SymmSquareCube vs PPN (N=%d)\n", n)
 	fprintf(w, "%4s %-10s %11s %10s %10s\n", "PPN", "mesh", "total nodes", "N_DUP=1", "N_DUP=4")
+	cells, err := parcases(len(Table3Configs)*2, func(i int) (KernelRun, error) {
+		cfg := Table3Configs[i/2]
+		ndup := 1
+		if i%2 == 1 {
+			ndup = 4
+		}
+		return Kernel(core.Optimized, n, cfg.Mesh, ndup, cfg.PPN)
+	})
+	if err != nil {
+		return nil, err
+	}
 	rows := make([]Table3Row, 0, len(Table3Configs))
-	for _, cfg := range Table3Configs {
-		kr1, err := Kernel(core.Optimized, n, cfg.Mesh, 1, cfg.PPN)
-		if err != nil {
-			return rows, err
-		}
-		kr4, err := Kernel(core.Optimized, n, cfg.Mesh, 4, cfg.PPN)
-		if err != nil {
-			return rows, err
-		}
+	for ci, cfg := range Table3Configs {
+		kr1, kr4 := cells[2*ci], cells[2*ci+1]
 		row := Table3Row{Config: cfg, TotalNodes: kr1.Nodes, TFlopsND1: kr1.TFlops, TFlopsND4: kr4.TFlops}
 		rows = append(rows, row)
 		fprintf(w, "%4d %-12s %11d %10.2f %10.2f\n",
@@ -176,16 +189,20 @@ func Table5(w io.Writer, n int) ([]Table5Row, error) {
 	}
 	fprintf(w, "Table V: 2.5D SymmSquareCube vs mesh/replication/PPN (N=%d)\n", n)
 	fprintf(w, "%4s %-12s %11s %10s %10s\n", "PPN", "mesh(qxqxc)", "total nodes", "N_DUP=1", "N_DUP=4")
+	cells, err := parcases(len(Table5Configs)*2, func(i int) (KernelRun, error) {
+		cfg := Table5Configs[i/2]
+		ndup := 1
+		if i%2 == 1 {
+			ndup = 4
+		}
+		return Kernel25(cfg.Q, cfg.C, n, ndup, cfg.PPN)
+	})
+	if err != nil {
+		return nil, err
+	}
 	rows := make([]Table5Row, 0, len(Table5Configs))
-	for _, cfg := range Table5Configs {
-		kr1, err := Kernel25(cfg.Q, cfg.C, n, 1, cfg.PPN)
-		if err != nil {
-			return rows, err
-		}
-		kr4, err := Kernel25(cfg.Q, cfg.C, n, 4, cfg.PPN)
-		if err != nil {
-			return rows, err
-		}
+	for ci, cfg := range Table5Configs {
+		kr1, kr4 := cells[2*ci], cells[2*ci+1]
 		row := Table5Row{Config: cfg, TotalNodes: kr1.Nodes, TFlopsND1: kr1.TFlops, TFlopsND4: kr4.TFlops}
 		rows = append(rows, row)
 		fprintf(w, "%4d %-12s %11d %10.2f %10.2f\n",

@@ -3,8 +3,16 @@ package check
 import (
 	"fmt"
 
+	"commoverlap/internal/runner"
 	"commoverlap/internal/sim"
 )
+
+// Workers bounds how many schedules the explorers run concurrently: 0 picks
+// the runner default (OVERLAP_WORKERS or GOMAXPROCS), 1 forces the
+// sequential order. Every (scenario, profile, policy, seed) run is an
+// isolated engine, and runs are aggregated and reported in enumeration
+// order, so summaries and reports are identical at any worker count.
+var Workers int
 
 // Policy is a named family of tie-break policies. Seeded reports whether
 // the seed changes the schedule (only the random policy); for unseeded
@@ -81,16 +89,66 @@ type Summary struct {
 
 // Explore runs every scenario under every policy — unseeded policies once,
 // the seeded policy once per seed in [baseSeed, baseSeed+nSeeds) — and
-// reports each run to report (if non-nil) as it completes. It returns the
-// aggregate summary; exploration continues past failures so one bad
-// schedule does not mask another.
+// reports each run to report (if non-nil) in enumeration order. It returns
+// the aggregate summary; exploration continues past failures so one bad
+// schedule does not mask another. Runs execute on the package replica pool
+// (see Workers); the summary and report stream are byte-identical to a
+// sequential exploration at any worker count.
 func Explore(scens []Scenario, policies []Policy, nSeeds int, baseSeed int64, report func(Result)) Summary {
+	var specs []caseSpec
+	for _, sc := range scens {
+		specs = appendPolicyCases(specs, sc, nil, policies, nSeeds, baseSeed)
+	}
+	return exploreCases(specs, report)
+}
+
+// caseSpec is one (scenario, profile, policy, seed) run of an exploration;
+// profile is nil on clean (unperturbed) runs.
+type caseSpec struct {
+	sc   Scenario
+	fp   *FaultProfile
+	pol  Policy
+	seed int64
+}
+
+// appendPolicyCases appends one caseSpec per (policy, seed) for a scenario
+// (and optional fault profile), unseeded policies once, seeded ones once per
+// seed — the explorers' shared enumeration order.
+func appendPolicyCases(specs []caseSpec, sc Scenario, fp *FaultProfile, policies []Policy, nSeeds int, baseSeed int64) []caseSpec {
+	for _, pol := range policies {
+		if !pol.Seeded {
+			specs = append(specs, caseSpec{sc: sc, fp: fp, pol: pol, seed: baseSeed})
+			continue
+		}
+		for i := 0; i < nSeeds; i++ {
+			specs = append(specs, caseSpec{sc: sc, fp: fp, pol: pol, seed: baseSeed + int64(i)})
+		}
+	}
+	return specs
+}
+
+// exploreCases fans the enumerated runs across the replica pool — every run
+// is an isolated engine, so replicas share no state — then aggregates and
+// reports them in enumeration order, which keeps the summary and the report
+// stream independent of worker interleaving.
+func exploreCases(specs []caseSpec, report func(Result)) Summary {
+	results, _ := runner.Map(len(specs), Workers, func(i int) (Result, error) {
+		spec := specs[i]
+		res := Result{Scenario: spec.sc.Name, Policy: spec.pol.Name, Seed: spec.seed}
+		opts := Options{Tie: spec.pol.New(spec.seed)}
+		if spec.fp != nil {
+			res.Profile = spec.fp.Name
+			cfg := spec.fp.Config
+			cfg.Seed = spec.seed
+			opts.Faults = &cfg
+		}
+		res.Report = RunScenario(spec.sc, opts)
+		return res, nil
+	})
 	var sum Summary
-	run := func(sc Scenario, pol Policy, seed int64) {
-		res := Result{Scenario: sc.Name, Policy: pol.Name, Seed: seed}
-		res.Report = RunScenario(sc, Options{Tie: pol.New(seed)})
+	for i, res := range results {
 		sum.Runs++
-		if pol.Seeded {
+		if specs[i].pol.Seeded {
 			sum.Schedules++
 		}
 		if res.Failed() {
@@ -98,17 +156,6 @@ func Explore(scens []Scenario, policies []Policy, nSeeds int, baseSeed int64, re
 		}
 		if report != nil {
 			report(res)
-		}
-	}
-	for _, sc := range scens {
-		for _, pol := range policies {
-			if !pol.Seeded {
-				run(sc, pol, baseSeed)
-				continue
-			}
-			for i := 0; i < nSeeds; i++ {
-				run(sc, pol, baseSeed+int64(i))
-			}
 		}
 	}
 	return sum

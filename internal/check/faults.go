@@ -47,39 +47,15 @@ func FindFaultProfile(name string) (FaultProfile, bool) {
 // policy — the fault seed tracking the schedule seed — with the full
 // invariant set armed, delivery included: perturbation may slow a run
 // arbitrarily but must never lose a payload, reorder admission, or break
-// accounting. Results and aggregation mirror Explore.
+// accounting. Results, aggregation and the replica pool mirror Explore.
 func ExploreFaults(scens []Scenario, profiles []FaultProfile, policies []Policy, nSeeds int, baseSeed int64, report func(Result)) Summary {
-	var sum Summary
-	run := func(sc Scenario, fp FaultProfile, pol Policy, seed int64) {
-		cfg := fp.Config
-		cfg.Seed = seed
-		res := Result{Scenario: sc.Name, Profile: fp.Name, Policy: pol.Name, Seed: seed}
-		res.Report = RunScenario(sc, Options{Tie: pol.New(seed), Faults: &cfg})
-		sum.Runs++
-		if pol.Seeded {
-			sum.Schedules++
-		}
-		if res.Failed() {
-			sum.Failures = append(sum.Failures, res)
-		}
-		if report != nil {
-			report(res)
-		}
-	}
+	var specs []caseSpec
 	for _, sc := range scens {
-		for _, fp := range profiles {
-			for _, pol := range policies {
-				if !pol.Seeded {
-					run(sc, fp, pol, baseSeed)
-					continue
-				}
-				for i := 0; i < nSeeds; i++ {
-					run(sc, fp, pol, baseSeed+int64(i))
-				}
-			}
+		for fi := range profiles {
+			specs = appendPolicyCases(specs, sc, &profiles[fi], policies, nSeeds, baseSeed)
 		}
 	}
-	return sum
+	return exploreCases(specs, report)
 }
 
 // faultRepro renders the -faults argument for a Result's repro commands.

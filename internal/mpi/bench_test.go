@@ -28,6 +28,7 @@ func benchJob(b *testing.B, size, nodes int, body func(p *Proc)) {
 // BenchmarkSimulatedAllreduce measures the simulator's wall-time cost of
 // collective simulation: one 1 MB allreduce over 64 ranks per iteration.
 func BenchmarkSimulatedAllreduce(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		benchJob(b, 64, 16, func(p *Proc) {
 			p.World().Allreduce(Phantom(1<<20), OpSum)
@@ -38,6 +39,7 @@ func BenchmarkSimulatedAllreduce(b *testing.B) {
 // BenchmarkSimulatedP2PStream measures per-message simulation overhead:
 // 100 eager messages between two ranks per iteration.
 func BenchmarkSimulatedP2PStream(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		benchJob(b, 2, 2, func(p *Proc) {
 			c := p.World()
@@ -57,6 +59,7 @@ func BenchmarkSimulatedP2PStream(b *testing.B) {
 // BenchmarkWorldSpinUp measures job setup cost (world + comm splits) for
 // 512 ranks, the largest configuration the paper's tables use.
 func BenchmarkWorldSpinUp(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		benchJob(b, 512, 64, func(p *Proc) {
 			p.World().Split(p.Rank()%8, p.Rank())

@@ -1,0 +1,108 @@
+// Package runner fans independent work items across a bounded worker pool
+// with deterministic, index-keyed results.
+//
+// Every cell of every experiment in this repository is an isolated
+// simulation: a fresh sim.Engine, fabric and MPI world with no shared
+// state, i.e. embarrassingly parallel at the replica level. The pool
+// exploits that: workers pull case indices from a shared counter, each case
+// writes only its own slot of the result slice, and the caller consumes
+// the slice in index order — so tables, CSVs and traces rendered from the
+// results are byte-identical to a sequential run regardless of how the
+// workers interleave. Determinism lives in the keying, not the scheduling.
+package runner
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvWorkers is the environment variable that overrides the default pool
+// width (a positive integer; anything else is ignored).
+const EnvWorkers = "OVERLAP_WORKERS"
+
+// DefaultWorkers returns the pool width used when Map is called with
+// workers <= 0: the OVERLAP_WORKERS override when set to a positive
+// integer, else GOMAXPROCS.
+func DefaultWorkers() int {
+	if s := os.Getenv(EnvWorkers); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn(i) for every i in [0, n) across min(workers, n) goroutines
+// and returns the results in index order. workers <= 0 selects
+// DefaultWorkers(); workers == 1 degenerates to a plain sequential loop
+// that stops at the first error, exactly like the loop it replaces.
+//
+// Error and panic reporting is deterministic: if several cases fail, Map
+// returns (or re-raises) the failure with the lowest case index, which is
+// the one a sequential run would have hit first. A re-raised panic carries
+// the original panic value; the stack is the worker's, not fn's original
+// frame, so fn implementations that panic should say which case they are.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return out, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	panics := make([]any, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				runCase(i, fn, out, errs, panics)
+			}
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if panics[i] != nil {
+			panic(fmt.Sprintf("runner: case %d panicked: %v", i, panics[i]))
+		}
+		if errs[i] != nil {
+			return out, errs[i]
+		}
+	}
+	return out, nil
+}
+
+// runCase executes one case, catching a panic into its slot so the other
+// workers finish their cases and the failure is reported deterministically.
+func runCase[T any](i int, fn func(i int) (T, error), out []T, errs []error, panics []any) {
+	defer func() {
+		if r := recover(); r != nil {
+			panics[i] = r
+		}
+	}()
+	out[i], errs[i] = fn(i)
+}

@@ -1,0 +1,115 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMapOrdering: results land in index order no matter how workers
+// interleave (later cases finish first via inverted sleeps).
+func TestMapOrdering(t *testing.T) {
+	const n = 50
+	out, err := Map(n, 8, func(i int) (int, error) {
+		time.Sleep(time.Duration(n-i) * 100 * time.Microsecond)
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != n {
+		t.Fatalf("got %d results, want %d", len(out), n)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+// TestMapSequentialParity: workers=1 must stop at the first error like the
+// plain loop it replaces, never invoking later cases.
+func TestMapSequentialParity(t *testing.T) {
+	calls := 0
+	boom := errors.New("boom")
+	_, err := Map(10, 1, func(i int) (int, error) {
+		calls++
+		if i == 3 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if calls != 4 {
+		t.Fatalf("sequential path made %d calls, want 4 (stop at first error)", calls)
+	}
+}
+
+// TestMapLowestIndexError: with several failing cases, the reported error
+// is the lowest-index one — what a sequential run would have hit first —
+// regardless of completion order.
+func TestMapLowestIndexError(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		_, err := Map(20, 4, func(i int) (int, error) {
+			if i%2 == 1 {
+				return 0, fmt.Errorf("case %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "case 1 failed" {
+			t.Fatalf("trial %d: err = %v, want case 1 failed", trial, err)
+		}
+	}
+}
+
+// TestMapPanicPropagation: a panicking case re-raises in the caller with
+// the lowest panicking index named.
+func TestMapPanicPropagation(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic propagated")
+		}
+		s := fmt.Sprint(r)
+		if !strings.Contains(s, "case 2 panicked") || !strings.Contains(s, "kaboom") {
+			t.Fatalf("panic = %q, want case 2 named with original value", s)
+		}
+	}()
+	Map(8, 3, func(i int) (int, error) {
+		if i >= 2 {
+			panic("kaboom")
+		}
+		return i, nil
+	})
+}
+
+// TestMapEdgeCases: empty input, single case, more workers than cases.
+func TestMapEdgeCases(t *testing.T) {
+	if out, err := Map(0, 4, func(i int) (int, error) { return 0, nil }); err != nil || out != nil {
+		t.Fatalf("n=0: out=%v err=%v, want nil,nil", out, err)
+	}
+	out, err := Map(1, 16, func(i int) (string, error) { return "only", nil })
+	if err != nil || len(out) != 1 || out[0] != "only" {
+		t.Fatalf("n=1: out=%v err=%v", out, err)
+	}
+}
+
+// TestDefaultWorkersOverride: the env var overrides, junk is ignored.
+func TestDefaultWorkersOverride(t *testing.T) {
+	t.Setenv(EnvWorkers, "7")
+	if got := DefaultWorkers(); got != 7 {
+		t.Fatalf("DefaultWorkers with override = %d, want 7", got)
+	}
+	t.Setenv(EnvWorkers, "zero")
+	if got := DefaultWorkers(); got < 1 {
+		t.Fatalf("DefaultWorkers with junk override = %d, want >= 1", got)
+	}
+	t.Setenv(EnvWorkers, "-3")
+	if got := DefaultWorkers(); got < 1 {
+		t.Fatalf("DefaultWorkers with negative override = %d, want >= 1", got)
+	}
+}

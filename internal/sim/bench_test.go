@@ -5,6 +5,7 @@ import "testing"
 // BenchmarkEventThroughput measures raw engine speed: how many
 // schedule/resume cycles per second the cooperative scheduler sustains.
 func BenchmarkEventThroughput(b *testing.B) {
+	b.ReportAllocs()
 	e := NewEngine()
 	const procs = 64
 	stop := false
@@ -28,6 +29,7 @@ func BenchmarkEventThroughput(b *testing.B) {
 
 // BenchmarkGateFanout measures waking many waiters from one gate.
 func BenchmarkGateFanout(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		e := NewEngine()
 		g := e.NewGate()
@@ -46,6 +48,7 @@ func BenchmarkGateFanout(b *testing.B) {
 
 // BenchmarkResourceReserve measures the bookkeeping primitive.
 func BenchmarkResourceReserve(b *testing.B) {
+	b.ReportAllocs()
 	r := NewResource("x")
 	ready := 0.0
 	for i := 0; i < b.N; i++ {

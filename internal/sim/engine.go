@@ -10,10 +10,18 @@
 //
 // Virtual time is a float64 in seconds. The clock only moves when the engine
 // pops an event; a running process acts at the engine's current time.
+//
+// The scheduler is written for host speed (see MODEL.md §8): the event heap
+// is typed (no container/heap interface boxing, so pushing an event does not
+// allocate), a process whose next wakeup is the earliest pending event
+// dispatches it inline without the yield/resume channel round trip, and the
+// goroutines backing finished processes are parked on a free list and reused
+// by later Spawn calls instead of being torn down and recreated. None of
+// these change the schedule: the dispatch order remains the strict
+// (time, sequence) order of the event heap.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 )
@@ -30,6 +38,11 @@ type Engine struct {
 	closed bool
 	tie    TieBreak
 	hook   func(t float64, p *Proc)
+
+	// pool holds the parked goroutines of finished processes, ready to be
+	// re-armed by Spawn. Run releases them when the simulation ends so an
+	// abandoned engine does not pin goroutines (and through them, itself).
+	pool []*Proc
 }
 
 type event struct {
@@ -38,23 +51,87 @@ type event struct {
 	p   *Proc
 }
 
+func eventLess(a, b event) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
+
+// eventHeap is a binary min-heap over (time, sequence), hand-rolled so push
+// and pop stay allocation-free (container/heap boxes every element in an
+// interface). Each resident event's position is mirrored in its process's
+// heapIdx, giving wakeNoLater O(log n) access instead of a linear scan.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+func (h eventHeap) up(i int) {
+	ev := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(ev, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		h[i].p.heapIdx = i
+		i = parent
 	}
-	return h[i].seq < h[j].seq
+	h[i] = ev
+	ev.p.heapIdx = i
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
+
+// down sifts the element at i toward the leaves and reports whether it moved.
+func (h eventHeap) down(i int) bool {
+	n := len(h)
+	ev := h[i]
+	start := i
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && eventLess(h[r], h[l]) {
+			c = r
+		}
+		if !eventLess(h[c], ev) {
+			break
+		}
+		h[i] = h[c]
+		h[i].p.heapIdx = i
+		i = c
+	}
+	h[i] = ev
+	ev.p.heapIdx = i
+	return i > start
+}
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	h.up(len(*h) - 1)
+}
+
+func (h *eventHeap) pop() event {
 	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+	root := old[0]
+	n := len(old) - 1
+	if n > 0 {
+		old[0] = old[n]
+		old[0].p.heapIdx = 0
+	}
+	old[n] = event{} // release the *Proc for GC
+	*h = old[:n]
+	if n > 1 {
+		(*h).down(0)
+	}
+	root.p.heapIdx = -1
+	return root
+}
+
+// fix re-establishes heap order after the element at i changed key.
+func (h eventHeap) fix(i int) {
+	if !h.down(i) {
+		h.up(i)
+	}
 }
 
 // NewEngine returns an empty engine with the clock at zero.
@@ -71,7 +148,9 @@ func (e *Engine) Now() float64 { return e.now }
 // SetTieBreak installs a policy for ordering same-time events. A nil policy
 // (the default) is equivalent to FIFO and skips the tie-collection work in
 // the hot loop. Install a policy before Run; changing it mid-run is legal
-// but makes the schedule hard to describe.
+// but makes the schedule hard to describe. Installing any non-nil policy
+// also disables the self-wake dispatch fast path, so every event flows
+// through the engine loop where the policy can observe ties.
 func (e *Engine) SetTieBreak(tb TieBreak) { e.tie = tb }
 
 // SetEventHook installs an observer called once per dispatched event, after
@@ -103,7 +182,9 @@ type Proc struct {
 	Name      string
 	resume    chan struct{}
 	pending   bool // an event for this proc is scheduled and not yet delivered
+	heapIdx   int  // position in the event heap while pending, else -1
 	blockedOn string
+	fn        func(p *Proc) // body to run on next resume (pooled goroutines)
 }
 
 // Eng returns the engine this process belongs to.
@@ -114,22 +195,50 @@ func (p *Proc) Eng() *Engine { return p.eng }
 func (p *Proc) Now() float64 { return p.eng.now }
 
 // Spawn creates a process that starts at the current virtual time and runs
-// fn. It may be called before Run or from inside a running process.
+// fn. It may be called before Run or from inside a running process. The
+// goroutine backing the process comes from the engine's free list when one
+// is available; the returned *Proc is then a recycled object with a fresh
+// ID and name, which is indistinguishable from a new process to everything
+// but pointer-identity comparisons across process lifetimes.
 func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 	if e.closed {
 		panic("sim: Spawn after Run returned")
 	}
-	p := &Proc{eng: e, ID: e.idseq, Name: name, resume: make(chan struct{})}
+	var p *Proc
+	if n := len(e.pool); n > 0 {
+		p = e.pool[n-1]
+		e.pool[n-1] = nil
+		e.pool = e.pool[:n-1]
+		p.ID = e.idseq
+		p.Name = name
+		p.fn = fn
+	} else {
+		p = &Proc{eng: e, ID: e.idseq, Name: name, resume: make(chan struct{}), heapIdx: -1, fn: fn}
+		go p.run()
+	}
 	e.idseq++
 	e.live[p] = struct{}{}
-	go func() {
-		<-p.resume
-		fn(p)
-		delete(e.live, p)
-		e.yield <- struct{}{}
-	}()
 	e.wakeAt(e.now, p)
 	return p
+}
+
+// run is the persistent body of a process goroutine: execute the assigned
+// function, park on the engine's free list, wait for the next assignment.
+// A nil assignment is the release signal from Run's teardown.
+func (p *Proc) run() {
+	for {
+		<-p.resume
+		fn := p.fn
+		if fn == nil {
+			return
+		}
+		p.fn = nil
+		fn(p)
+		e := p.eng
+		delete(e.live, p)
+		e.pool = append(e.pool, p)
+		e.yield <- struct{}{}
+	}
 }
 
 // wakeAt schedules p to resume at time t (>= now). It is a no-op if p
@@ -143,7 +252,7 @@ func (e *Engine) wakeAt(t float64, p *Proc) {
 		t = e.now
 	}
 	p.pending = true
-	heap.Push(&e.events, event{t: t, seq: e.seq, p: p})
+	e.events.push(event{t: t, seq: e.seq, p: p})
 	e.seq++
 }
 
@@ -161,25 +270,24 @@ func (e *Engine) wakeNoLater(t float64, p *Proc) {
 	if t < e.now {
 		t = e.now
 	}
-	for i := range e.events {
-		if e.events[i].p == p {
-			if t < e.events[i].t {
-				e.events[i].t = t
-				e.events[i].seq = e.seq
-				e.seq++
-				heap.Fix(&e.events, i)
-			}
-			return
-		}
+	i := p.heapIdx
+	if i < 0 || i >= len(e.events) || e.events[i].p != p {
+		return
+	}
+	if t < e.events[i].t {
+		e.events[i].t = t
+		e.events[i].seq = e.seq
+		e.seq++
+		e.events.fix(i)
 	}
 }
 
 // Run executes the simulation until no events remain. It returns an error if
 // processes are still alive but permanently blocked (deadlock), listing them.
 func (e *Engine) Run() error {
-	for e.events.Len() > 0 {
-		ev := heap.Pop(&e.events).(event)
-		if e.tie != nil && e.events.Len() > 0 && e.events[0].t == ev.t {
+	for len(e.events) > 0 {
+		ev := e.events.pop()
+		if e.tie != nil && len(e.events) > 0 && e.events[0].t == ev.t {
 			ev = e.breakTie(ev)
 		}
 		if ev.t < e.now {
@@ -194,6 +302,12 @@ func (e *Engine) Run() error {
 		<-e.yield
 	}
 	e.closed = true
+	// Release the pooled goroutines: a nil assignment makes run() return.
+	for _, p := range e.pool {
+		p.fn = nil
+		p.resume <- struct{}{}
+	}
+	e.pool = nil
 	if len(e.live) > 0 {
 		names := e.LiveProcs()
 		return fmt.Errorf("sim: deadlock, %d live processes: %v", len(names), names)
@@ -208,8 +322,8 @@ func (e *Engine) Run() error {
 // candidate slice the policy indexes into is FIFO-ordered.
 func (e *Engine) breakTie(ev event) event {
 	ties := []event{ev}
-	for e.events.Len() > 0 && e.events[0].t == ev.t {
-		ties = append(ties, heap.Pop(&e.events).(event))
+	for len(e.events) > 0 && e.events[0].t == ev.t {
+		ties = append(ties, e.events.pop())
 	}
 	k := e.tie.Choose(len(ties))
 	if k < 0 || k >= len(ties) {
@@ -217,7 +331,7 @@ func (e *Engine) breakTie(ev event) event {
 	}
 	for i := range ties {
 		if i != k {
-			heap.Push(&e.events, ties[i])
+			e.events.push(ties[i])
 		}
 	}
 	return ties[k]
@@ -245,9 +359,27 @@ func (p *Proc) park(why string) {
 }
 
 // swap transfers control to the engine and waits to be resumed.
+//
+// Fast path: when the earliest pending event is this process's own wakeup
+// and no tie-break policy is installed, the engine loop would immediately
+// resume us — so dispatch the event inline and keep running, skipping both
+// channel handoffs and the goroutine switch. This is safe because exactly
+// one process executes at any instant (the engine goroutine is parked in
+// <-yield while we run), and it preserves the schedule exactly: the event
+// dispatched is the same one the engine loop would have chosen.
 func (p *Proc) swap(why string) {
+	e := p.eng
+	if e.tie == nil && len(e.events) > 0 && e.events[0].p == p {
+		ev := e.events.pop()
+		e.now = ev.t // ev.t >= e.now: wakeAt clamps to the clock
+		if e.hook != nil {
+			e.hook(ev.t, p)
+		}
+		p.pending = false
+		return
+	}
 	p.blockedOn = why
-	p.eng.yield <- struct{}{}
+	e.yield <- struct{}{}
 	<-p.resume
 	p.blockedOn = ""
 }

@@ -144,6 +144,12 @@ type Net struct {
 	nodes []*nodeRes
 	core  *sim.Resource // nil for a non-blocking fabric
 	nep   int           // endpoints created, for naming
+
+	// xferPool recycles the per-transfer state (chunk feed slices, the
+	// tx→rx signal) across transfers. The engine runs exactly one process
+	// at a time, so a plain slice needs no locking; each transfer's two
+	// halves release their shared state back here when the last one ends.
+	xferPool []*xfer
 }
 
 type nodeRes struct {
@@ -273,20 +279,70 @@ func (n *Net) TransferBulk(src, dst *Endpoint, size int64) (injected, delivered 
 }
 
 func (n *Net) transfer(src, dst *Endpoint, size int64, cpuRate float64) (injected, delivered *sim.Gate) {
-	injected = n.Eng.NewGate()
-	delivered = n.Eng.NewGate()
 	if size < 0 {
 		panic("simnet: negative transfer size")
 	}
 	n.Metrics.Inc("net.transfers", "")
-	feed := &chunkFeed{sig: n.Eng.NewSignal()}
-	n.Eng.Spawn("xfer-tx", func(p *sim.Proc) {
-		n.runTransferTx(p, src, dst, size, cpuRate, feed, injected)
-	})
-	n.Eng.Spawn("xfer-rx", func(p *sim.Proc) {
-		n.runTransferRx(p, src, dst, cpuRate, feed, delivered)
-	})
-	return injected, delivered
+	x := n.getXfer()
+	x.src, x.dst = src, dst
+	x.size, x.cpuRate = size, cpuRate
+	x.injected = n.Eng.NewGate()
+	x.delivered = n.Eng.NewGate()
+	// Pre-size the chunk feed: the chunk count is known at segmentation
+	// time, so the per-chunk appends never reallocate mid-transfer.
+	chunks := 1
+	if size > n.Cfg.ChunkBytes {
+		chunks = int((size + n.Cfg.ChunkBytes - 1) / n.Cfg.ChunkBytes)
+	}
+	x.feed.presize(chunks)
+	n.Eng.Spawn("xfer-tx", x.tx)
+	n.Eng.Spawn("xfer-rx", x.rx)
+	return x.injected, x.delivered
+}
+
+// xfer is the state shared by the two halves of one transfer. It is
+// recycled through Net.xferPool: refs counts the halves still running, and
+// the last one to finish releases the object (the gates are not recycled —
+// callers hold them past the transfer's lifetime).
+type xfer struct {
+	n                   *Net
+	src, dst            *Endpoint
+	size                int64
+	cpuRate             float64
+	feed                chunkFeed
+	injected, delivered *sim.Gate
+	refs                int8
+}
+
+func (n *Net) getXfer() *xfer {
+	if len(n.xferPool) > 0 {
+		x := n.xferPool[len(n.xferPool)-1]
+		n.xferPool = n.xferPool[:len(n.xferPool)-1]
+		x.refs = 2
+		return x
+	}
+	return &xfer{n: n, refs: 2, feed: chunkFeed{sig: n.Eng.NewSignal()}}
+}
+
+// release returns the transfer state to the pool once both halves are done.
+func (x *xfer) release() {
+	x.refs--
+	if x.refs > 0 {
+		return
+	}
+	x.feed.reset()
+	x.injected, x.delivered = nil, nil
+	x.n.xferPool = append(x.n.xferPool, x)
+}
+
+func (x *xfer) tx(p *sim.Proc) {
+	x.n.runTransferTx(p, x.src, x.dst, x.size, x.cpuRate, &x.feed, x.injected)
+	x.release()
+}
+
+func (x *xfer) rx(p *sim.Proc) {
+	x.n.runTransferRx(p, x.src, x.dst, x.cpuRate, &x.feed, x.delivered)
+	x.release()
 }
 
 // chunkFeed hands chunk availability times from the sender half to the
@@ -303,6 +359,22 @@ func (f *chunkFeed) push(t float64, b int64, last bool) {
 	f.bytes = append(f.bytes, b)
 	f.done = f.done || last
 	f.sig.Notify()
+}
+
+// presize grows the feed's capacity to hold chunks entries, so the pipeline
+// loop appends without reallocating.
+func (f *chunkFeed) presize(chunks int) {
+	if cap(f.ready) < chunks {
+		f.ready = make([]float64, 0, chunks)
+		f.bytes = make([]int64, 0, chunks)
+	}
+}
+
+// reset empties the feed for reuse, keeping the slices' capacity.
+func (f *chunkFeed) reset() {
+	f.ready = f.ready[:0]
+	f.bytes = f.bytes[:0]
+	f.done = false
 }
 
 // runTransferTx drives the sender side: per-message setup, then per chunk a
