@@ -5,6 +5,8 @@
 //
 //	overlapbench [-n dim] [-csv dir] [-trace file] [-metrics] [-noise] [experiment ...]
 //	overlapbench -validate-trace file
+//	overlapbench tune [-quick] [-table file] [-cells-csv file] [-cold]
+//	overlapbench bench-diff [-threshold pct] [-fail-on-regression] base.json current.json
 //
 // Experiments: fig3, fig4, fig5, fig6, table1, table2, table3, table4,
 // table5 (the paper's artifacts), plus the extensions solver
@@ -13,9 +15,18 @@
 // (strong scaling), noise (the skew-resilience experiment: Fig. 5's cases
 // re-measured under seeded machine noise from internal/faults — also
 // reachable as the -noise flag), paperscale (64-node collectives plus
-// kernel/application strong scaling to 216 nodes) and report (all paper
-// claims checked with verdicts); "all" (the default) runs everything except
-// report. -n overrides the
+// kernel/application strong scaling to 216 nodes; add -tuned to apply the
+// -table tuning table), tuned (the tuned-vs-fixed workload comparison over
+// the -table tuning table; like report it only runs when named) and report
+// (all paper claims checked with verdicts); "all" (the default) runs
+// everything except report and tuned.
+//
+// The tune subcommand regenerates the -table tuning table (see
+// internal/tune): a deterministic parallel search over the overlap
+// parameter space, warm-started from the existing table when its cells'
+// provenance hashes still match. -quick sweeps the coarse CI grid instead
+// of the full one. bench-diff compares two bench-host artifacts; -threshold
+// and -fail-on-regression turn it into a gate. -n overrides the
 // matrix dimension for the kernel tables (default: the paper's 1hsg_70,
 // N = 7645). -csv also writes each experiment's data as <dir>/<id>.csv.
 //
@@ -40,6 +51,7 @@ import (
 	"commoverlap/internal/bench"
 	"commoverlap/internal/metrics"
 	"commoverlap/internal/trace"
+	"commoverlap/internal/tune"
 )
 
 // writeFile streams write into path through a buffered writer and
@@ -80,6 +92,8 @@ func main() {
 	noiseOnly := flag.Bool("noise", false, "run the skew-resilience (machine noise) experiment")
 	validate := flag.String("validate-trace", "", "validate a Chrome trace JSON file and exit")
 	workers := flag.Int("workers", 0, "replica-pool width (0 = OVERLAP_WORKERS or GOMAXPROCS, 1 = sequential)")
+	tuned := flag.Bool("tuned", false, "apply the -table tuning table to the paperscale experiment")
+	tablePath := flag.String("table", "TUNING.json", "tuning table for -tuned and the tuned experiment")
 	benchOut := flag.String("bench-out", "BENCH_wallclock.json", "output path for the bench-host artifact")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -132,6 +146,13 @@ func main() {
 	if len(exps) > 0 && exps[0] == "bench-diff" {
 		if err := runBenchDiff(exps[1:]); err != nil {
 			fmt.Fprintf(os.Stderr, "bench-diff: %v\n", err)
+			exitCode = 1
+		}
+		return
+	}
+	if len(exps) > 0 && exps[0] == "tune" {
+		if err := runTune(exps[1:], *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "tune: %v\n", err)
 			exitCode = 1
 		}
 		return
@@ -266,13 +287,41 @@ func main() {
 	run("sparse", func() error { _, err := bench.Sparse(os.Stdout, 0); return err })
 	run("scaling", func() error { _, err := bench.Scaling(os.Stdout, *n); return err })
 	run("paperscale", func() error {
-		res, err := bench.PaperScale(os.Stdout, *n)
+		var res bench.PaperScaleResult
+		var err error
+		if *tuned {
+			var table *tune.Table
+			table, err = tune.LoadTable(*tablePath)
+			if err != nil {
+				return fmt.Errorf("%w (generate one with `overlapbench tune -quick`)", err)
+			}
+			res, err = bench.PaperScaleTuned(os.Stdout, *n, table)
+		} else {
+			res, err = bench.PaperScale(os.Stdout, *n)
+		}
 		if err != nil {
 			return err
 		}
 		csvOut("paperscale", func(f io.Writer) error { return res.WriteCSV(f) })
 		return nil
 	})
+	// tuned (the tuned-vs-fixed workload comparison) needs a tuning table,
+	// so like report it only fires when asked for by name.
+	if want["tuned"] {
+		table, err := tune.LoadTable(*tablePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tuned: %v (generate one with `overlapbench tune -quick`)\n", err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		res, err := bench.Tuned(os.Stdout, table)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tuned: %v\n", err)
+			os.Exit(1)
+		}
+		csvOut("tuned", func(f io.Writer) error { return res.WriteCSV(f) })
+		fmt.Printf("  [tuned regenerated in %.1fs wall time]\n\n", time.Since(start).Seconds())
+	}
 	run("noise", func() error {
 		res, err := bench.Noise(os.Stdout)
 		if err != nil {
@@ -318,12 +367,21 @@ func runBenchHost(outPath string) error {
 	return nil
 }
 
-// runBenchDiff prints a report-only comparison of two bench-host artifacts
-// (base then current). Wall-clock numbers are hardware-dependent, so the
-// diff never fails on regressions — only on unreadable input.
-func runBenchDiff(paths []string) error {
+// runBenchDiff compares two bench-host artifacts (base then current). By
+// default it is report-only — wall-clock numbers are hardware-dependent —
+// but -threshold sets the slowdown percentage beyond which a timing is
+// flagged, and -fail-on-regression turns flagged timings into a non-zero
+// exit.
+func runBenchDiff(args []string) error {
+	fs := flag.NewFlagSet("bench-diff", flag.ContinueOnError)
+	threshold := fs.Float64("threshold", 10, "flag timings that slowed down by more than this percentage")
+	failOn := fs.Bool("fail-on-regression", false, "exit non-zero when any timing regressed beyond -threshold")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := fs.Args()
 	if len(paths) != 2 {
-		return fmt.Errorf("usage: overlapbench bench-diff <base.json> <current.json>")
+		return fmt.Errorf("usage: overlapbench bench-diff [-threshold pct] [-fail-on-regression] <base.json> <current.json>")
 	}
 	var reps [2]bench.HostReport
 	for i, p := range paths {
@@ -339,6 +397,60 @@ func runBenchDiff(paths []string) error {
 			return fmt.Errorf("%s: %w", p, err)
 		}
 	}
-	bench.DiffHostReports(os.Stdout, reps[0], reps[1])
+	regressions := bench.DiffHostReports(os.Stdout, reps[0], reps[1], *threshold)
+	if *failOn && regressions > 0 {
+		return fmt.Errorf("%d timing(s) regressed more than %.1f%%", regressions, *threshold)
+	}
+	return nil
+}
+
+// runTune regenerates a tuning table: a full or -quick grid search over the
+// default kernel set, warm-started from an existing table at -table when
+// its cells' provenance hashes still match, then persisted back to -table
+// (plus a per-cell CSV with -cells-csv).
+func runTune(args []string, workers int) error {
+	fs := flag.NewFlagSet("tune", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "coarse grid (the CI smoke table) instead of the full search space")
+	tablePath := fs.String("table", "TUNING.json", "tuning table to warm-start from and write back to")
+	cellsCSV := fs.String("cells-csv", "", "also write every measured cell as CSV to this file")
+	cold := fs.Bool("cold", false, "ignore an existing table (re-measure every cell)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	grid := tune.FullGrid()
+	if *quick {
+		grid = tune.QuickGrid()
+	}
+	var warm *tune.Table
+	if !*cold {
+		if t, err := tune.LoadTable(*tablePath); err == nil {
+			warm = t
+		} else if !os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "  [ignoring warm-start table: %v]\n", err)
+		}
+	}
+	start := time.Now()
+	table, err := tune.Search(tune.Options{
+		Grid:     grid,
+		Workers:  workers,
+		Warm:     warm,
+		Progress: func(line string) { fmt.Printf("  %s\n", line) },
+	})
+	if err != nil {
+		return err
+	}
+	warmN, total := table.WarmCount()
+	fmt.Printf("  [%s grid: %d cells (%d warm-started) in %.1fs wall time]\n",
+		grid.Name, total, warmN, time.Since(start).Seconds())
+	if err := tune.SaveTable(*tablePath, table); err != nil {
+		return err
+	}
+	fmt.Printf("  [wrote %s]\n", *tablePath)
+	if *cellsCSV != "" {
+		if err := writeFile(*cellsCSV, table.WriteCSV); err != nil {
+			return err
+		}
+		fmt.Printf("  [wrote %s]\n", *cellsCSV)
+	}
 	return nil
 }

@@ -25,6 +25,12 @@ type AblationRow struct {
 
 // kernelWithCfg runs the optimized kernel under a custom machine config.
 func kernelWithCfg(cfg simnet.Config, n, p, ndup, ppn int) (float64, error) {
+	return kernelWithWorld(cfg, n, p, ndup, ppn, nil)
+}
+
+// kernelWithWorld is kernelWithCfg with a hook to adjust the freshly built
+// world (per-job collective switch points and similar) before launch.
+func kernelWithWorld(cfg simnet.Config, n, p, ndup, ppn int, tweak func(*mpi.World)) (float64, error) {
 	dims := mesh.Cubic(p)
 	nodes := mesh.NodesNeeded(dims.Size(), ppn)
 	cfg.Nodes = nodes
@@ -36,6 +42,9 @@ func kernelWithCfg(cfg simnet.Config, n, p, ndup, ppn int) (float64, error) {
 	w, err := mpi.NewWorld(net, dims.Size(), mesh.NaturalPlacement(dims.Size(), ppn))
 	if err != nil {
 		return 0, err
+	}
+	if tweak != nil {
+		tweak(w)
 	}
 	var worst float64
 	w.Launch(func(pr *mpi.Proc) {
@@ -84,25 +93,26 @@ func Ablate(w io.Writer, n int) ([]AblationRow, error) {
 	}
 
 	// 2. Reduce algorithm switch point: forcing binomial trees for the
-	//    kernel's ~7 MB bands shows why Rabenseifner matters. This knob
-	//    mutates the package-global mpi.ReduceLongMsg, which every concurrent
-	//    replica would observe — the one ablation group that must stay
-	//    sequential.
-	savedR := mpi.ReduceLongMsg
-	for _, lim := range []int64{64 << 10, 1 << 30} {
-		mpi.ReduceLongMsg = lim
-		tf, err := kernelWithCfg(simnet.DefaultConfig(1), n, 4, 4, 1)
-		if err != nil {
-			mpi.ReduceLongMsg = savedR
-			return rows, err
-		}
+	//    kernel's ~7 MB bands shows why Rabenseifner matters. The switch
+	//    point is per-World configuration, so the two jobs fan through the
+	//    replica pool like every other group.
+	limits := []int64{64 << 10, 1 << 30}
+	cells, err = parcases(len(limits), func(i int) (float64, error) {
+		lim := limits[i]
+		return kernelWithWorld(simnet.DefaultConfig(1), n, 4, 4, 1, func(w *mpi.World) {
+			w.ReduceLongMsg = lim
+		})
+	})
+	if err != nil {
+		return rows, err
+	}
+	for i, lim := range limits {
 		label := "rabenseifner"
 		if lim > 1<<29 {
 			label = "binomial"
 		}
-		add("reduce algorithm", label, tf)
+		add("reduce algorithm", label, cells[i])
 	}
-	mpi.ReduceLongMsg = savedR
 
 	// 3. Rank placement: the paper's "natural" assignment keeps each mesh
 	//    column (the reduce fibers) mostly on one node; round-robin spreads

@@ -186,11 +186,28 @@ func Kernel25(q, c, n, ndup, ppn int) (KernelRun, error) {
 }
 
 func kernelDims(run func(*core.Env) core.Result, dims mesh.Dims, n, ndup, ppn int) (KernelRun, error) {
+	return kernelCfg(run, dims, core.Config{N: n, NDup: ndup, PPN: ppn})
+}
+
+// KernelCfg runs the optimized kernel on a p-edge cubic mesh under an
+// explicit configuration — the entry point for table-driven runs with
+// per-phase pipeline widths (Config.PhaseNDup).
+func KernelCfg(p int, cfg core.Config) (KernelRun, error) {
+	return kernelCfg(func(env *core.Env) core.Result {
+		return env.SymmSquareCube(core.Optimized, nil)
+	}, mesh.Cubic(p), cfg)
+}
+
+func kernelCfg(run func(*core.Env) core.Result, dims mesh.Dims, cfg core.Config) (KernelRun, error) {
+	ppn := cfg.PPN
+	if ppn == 0 {
+		ppn = 1
+	}
 	nodes := mesh.NodesNeeded(dims.Size(), ppn)
 	var out KernelRun
 	out.Nodes = nodes
 	w, err := jobWorld(nodes, dims.Size(), mesh.NaturalPlacement(dims.Size(), ppn), func(pr *mpi.Proc) {
-		env, err := core.NewEnv(pr, dims, core.Config{N: n, NDup: ndup, PPN: ppn})
+		env, err := core.NewEnv(pr, dims, cfg)
 		if err != nil {
 			panic(err)
 		}
@@ -201,7 +218,7 @@ func kernelDims(run func(*core.Env) core.Result, dims mesh.Dims, n, ndup, ppn in
 	if err != nil {
 		return out, err
 	}
-	finish(&out, n, w)
+	finish(&out, cfg.N, w)
 	return out, nil
 }
 

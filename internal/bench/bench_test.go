@@ -397,9 +397,10 @@ func TestAblateShape(t *testing.T) {
 	if byKnob["fabric core"]["4:1 oversub"] > byKnob["fabric core"]["non-blocking"]*1.02 {
 		t.Errorf("oversubscription sped up the kernel: %+v", byKnob["fabric core"])
 	}
-	// The ReduceLongMsg global must have been restored.
-	if mpi.ReduceLongMsg != 64<<10 {
-		t.Errorf("ReduceLongMsg left at %d", mpi.ReduceLongMsg)
+	// The reduce-algorithm group uses per-World switch points now, so the
+	// package default must be what a fresh world observes.
+	if mpi.DefaultReduceLongMsg != 64<<10 {
+		t.Errorf("DefaultReduceLongMsg is %d", mpi.DefaultReduceLongMsg)
 	}
 }
 

@@ -173,5 +173,13 @@ func (r PaperScaleResult) WriteCSV(w io.Writer) error {
 			row.MeshEdge, row.MeshEdge, row.MeshEdge, row.Ranks,
 			row.KernelND1, row.KernelND4, row.PurifyTFlops)
 	}
+	if r.TunedApplied {
+		fmt.Fprintf(w, "tuned-collective,,%d,,,%.1f,,,\n", r.CollNodes, r.TunedCollBW)
+		for i, tf := range r.TunedKernel {
+			edge := r.Rows[i].MeshEdge
+			fmt.Fprintf(w, "tuned-scaling,%dx%dx%d,%d,,,,,%.3f,\n",
+				edge, edge, edge, r.Rows[i].Ranks, tf)
+		}
+	}
 	return nil
 }

@@ -216,11 +216,21 @@ func ReadHostReport(r io.Reader) (HostReport, error) {
 	return rep, err
 }
 
-// DiffHostReports writes a benchstat-style report-only comparison of two
-// artifacts: micro benchmarks and experiment timings side by side with the
-// relative change. Wall-clock numbers are hardware-dependent, so the diff
-// informs review instead of gating it — it never fails.
-func DiffHostReports(w io.Writer, base, cur HostReport) {
+// DiffHostReports writes a benchstat-style comparison of two artifacts:
+// micro benchmarks and experiment timings side by side with the relative
+// change. Slowdowns beyond thresholdPct percent are flagged with a trailing
+// "!" and counted in the return value, so callers can opt into gating
+// (overlapbench bench-diff -fail-on-regression); by default the diff only
+// informs review, since wall-clock numbers are hardware-dependent.
+func DiffHostReports(w io.Writer, base, cur HostReport, thresholdPct float64) int {
+	regressions := 0
+	flag := func(deltaPct float64) string {
+		if deltaPct > thresholdPct {
+			regressions++
+			return "!"
+		}
+		return ""
+	}
 	fprintf(w, "Host benchmark diff (base: %s %s/%s %d cores; current: %s %s/%s %d cores)\n",
 		base.GoVersion, base.GOOS, base.GOARCH, base.Cores,
 		cur.GoVersion, cur.GOOS, cur.GOARCH, cur.Cores)
@@ -236,8 +246,9 @@ func DiffHostReports(w io.Writer, base, cur HostReport) {
 			fprintf(w, "%-34s %14s %14.0f %8s %10s %10d %8s\n", m.Name, "-", m.NsPerOp, "new", "-", m.AllocsPerOp, "new")
 			continue
 		}
-		fprintf(w, "%-34s %14.0f %14.0f %7.1f%% %10d %10d %7.1f%%\n",
-			m.Name, bm.NsPerOp, m.NsPerOp, pctDelta(bm.NsPerOp, m.NsPerOp),
+		d := pctDelta(bm.NsPerOp, m.NsPerOp)
+		fprintf(w, "%-34s %14.0f %14.0f %7.1f%%%s %10d %10d %7.1f%%\n",
+			m.Name, bm.NsPerOp, m.NsPerOp, d, flag(d),
 			bm.AllocsPerOp, m.AllocsPerOp, pctDelta(float64(bm.AllocsPerOp), float64(m.AllocsPerOp)))
 	}
 	fprintf(w, "\n%-12s %10s %10s %8s %10s %10s %8s\n",
@@ -252,14 +263,19 @@ func DiffHostReports(w io.Writer, base, cur HostReport) {
 			fprintf(w, "%-12s %10s %9.2fs %8s %10s %9.2fs %8s\n", e.Name, "-", e.SequentialS, "new", "-", e.ParallelS, "new")
 			continue
 		}
-		fprintf(w, "%-12s %9.2fs %9.2fs %7.1f%% %9.2fs %9.2fs %7.1f%%\n",
-			e.Name, be.SequentialS, e.SequentialS, pctDelta(be.SequentialS, e.SequentialS),
-			be.ParallelS, e.ParallelS, pctDelta(be.ParallelS, e.ParallelS))
+		ds, dp := pctDelta(be.SequentialS, e.SequentialS), pctDelta(be.ParallelS, e.ParallelS)
+		fprintf(w, "%-12s %9.2fs %9.2fs %7.1f%%%s %9.2fs %9.2fs %7.1f%%%s\n",
+			e.Name, be.SequentialS, e.SequentialS, ds, flag(ds),
+			be.ParallelS, e.ParallelS, dp, flag(dp))
 	}
 	fprintf(w, "\ntotal: sequential %.2fs -> %.2fs (%+.1f%%), parallel %.2fs -> %.2fs (%+.1f%%), pool speedup %.2fx -> %.2fx\n",
 		base.TotalSequentialS, cur.TotalSequentialS, pctDelta(base.TotalSequentialS, cur.TotalSequentialS),
 		base.TotalParallelS, cur.TotalParallelS, pctDelta(base.TotalParallelS, cur.TotalParallelS),
 		base.Speedup, cur.Speedup)
+	if regressions > 0 {
+		fprintf(w, "%d timing(s) regressed more than %.1f%% (marked !)\n", regressions, thresholdPct)
+	}
+	return regressions
 }
 
 func pctDelta(base, cur float64) float64 {

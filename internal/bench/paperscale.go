@@ -1,12 +1,14 @@
 package bench
 
 import (
+	"fmt"
 	"io"
 
 	"commoverlap/internal/core"
 	"commoverlap/internal/mesh"
 	"commoverlap/internal/mpi"
 	"commoverlap/internal/purify"
+	"commoverlap/internal/tune"
 )
 
 // The paper-scale experiment: the evaluation rerun at the machine sizes the
@@ -51,12 +53,21 @@ type PaperScaleRow struct {
 	PurifyIters  int
 }
 
-// PaperScaleResult holds both parts of the experiment.
+// PaperScaleResult holds both parts of the experiment, plus the optional
+// table-driven rows PaperScaleTuned fills in.
 type PaperScaleResult struct {
 	CollNodes int
 	CollSize  int64
 	CollBW    [3]float64 // MB/s per CollCase, reduce op
 	Rows      []PaperScaleRow
+
+	// Tuned rows (only when run via PaperScaleTuned): the 64-node reduction
+	// at the tuning table's winner, and the optimized kernel with per-phase
+	// tuned pipeline widths at every mesh edge.
+	TunedCollBW  float64     // MB/s
+	TunedParams  tune.Params // the collective winner
+	TunedKernel  []float64   // TFlops per paperScaleMeshes entry
+	TunedApplied bool
 }
 
 // PaperScale runs the 64-node collective micro-benchmark and the
@@ -119,6 +130,62 @@ func PaperScale(w io.Writer, n int) (PaperScaleResult, error) {
 	}
 	fprintf(w, "\nPurify ND4 = optimized kernel averaged over %d purification iterations\n", paperScaleIters)
 	fprintf(w, "(the paper's Table I methodology) — it matches the single-shot N_DUP=4\ncolumn, confirming the overlap win survives inside the application loop.\n")
+	return res, nil
+}
+
+// PaperScaleTuned is PaperScale with the tuning table applied: after the
+// fixed-parameter sweep it re-measures the 64-node reduction at the table's
+// per-kernel winner and the optimized kernel with tuned per-phase pipeline
+// widths (tune.Table.KernelConfig) at every mesh edge.
+func PaperScaleTuned(w io.Writer, n int, table *tune.Table) (PaperScaleResult, error) {
+	res, err := PaperScale(w, n)
+	if err != nil {
+		return res, err
+	}
+	if n == 0 {
+		n = Systems[2].N
+	}
+	want := tune.Kernel{Op: "reduce", Bytes: paperScaleSize, Nodes: PaperScaleNodes}
+	entry := table.Lookup(want)
+	if entry == nil {
+		entry = table.Nearest(want.Op, want.Bytes, want.Nodes)
+	}
+	if entry == nil {
+		return res, fmt.Errorf("bench: tuning table has no reduce entries")
+	}
+	cells, err := parcases(1+len(paperScaleMeshes), func(i int) (float64, error) {
+		if i == 0 {
+			return tune.Measure(want, entry.Best, table.Grid.LaunchPPN)
+		}
+		p := paperScaleMeshes[i-1]
+		tc, err := table.KernelConfig(core.Config{N: n, NDup: 4}, p, cube(p))
+		if err != nil {
+			return 0, err
+		}
+		// The strong-scaling rows run one rank per node; the tuned PPN
+		// applies to the collective workload, so here only the per-phase
+		// widths carry over.
+		tc.Config.PPN = 1
+		kr, err := KernelCfg(p, tc.Config)
+		return kr.TFlops, err
+	})
+	if err != nil {
+		return res, err
+	}
+	res.TunedCollBW = cells[0] / 1e6
+	res.TunedParams = entry.Best
+	res.TunedKernel = cells[1:]
+	res.TunedApplied = true
+
+	fprintf(w, "\nTuning table applied (%s grid):\n", table.Grid.Name)
+	fprintf(w, "  %d-node reduce, tuned ndup=%d ppn=%d: %8.0f MB/s (blocking %8.0f, fixed 4-PPN %8.0f)\n",
+		PaperScaleNodes, entry.Best.NDup, entry.Best.PPN,
+		res.TunedCollBW, res.CollBW[Blocking], res.CollBW[MultiPPNOverlap])
+	fprintf(w, "  kernel with per-phase tuned widths (TFlops):\n")
+	for pi, p := range paperScaleMeshes {
+		fprintf(w, "    %dx%dx%d %10.2f (fixed N_DUP=4: %8.2f)\n",
+			p, p, p, res.TunedKernel[pi], res.Rows[pi].KernelND4)
+	}
 	return res, nil
 }
 

@@ -15,6 +15,31 @@ import (
 	"commoverlap/internal/mpi"
 )
 
+// Phase names one communication phase of the optimized SymmSquareCube
+// schedule (Alg. 5). The auto-tuner measures each phase's collective in
+// isolation and Config.PhaseNDup lets the kernel apply a different pipeline
+// width per phase.
+type Phase string
+
+const (
+	// PhaseBcastA is the grid broadcast of the A bands (lines 1-3).
+	PhaseBcastA Phase = "bcastA"
+	// PhaseBcastB is the row broadcast of D_{k,j} (lines 4-7).
+	PhaseBcastB Phase = "bcastB"
+	// PhaseReduce2 is the column reduction of C toward D² (lines 10-12).
+	PhaseReduce2 Phase = "reduce2"
+	// PhaseBcastB2 is the row broadcast of the reduced D² (lines 13-16).
+	PhaseBcastB2 Phase = "bcastB2"
+	// PhaseReduce3 is the column reduction toward D³ (lines 19-21).
+	PhaseReduce3 Phase = "reduce3"
+	// PhaseShip covers the point-to-point shipments of D² and D³ to plane
+	// 0 (lines 22-27).
+	PhaseShip Phase = "ship"
+)
+
+// Phases lists the optimized kernel's phases in schedule order.
+var Phases = []Phase{PhaseBcastA, PhaseBcastB, PhaseReduce2, PhaseBcastB2, PhaseReduce3, PhaseShip}
+
 // Config controls a kernel run.
 type Config struct {
 	// N is the global matrix dimension.
@@ -30,6 +55,14 @@ type Config struct {
 	// local GEMM time. It should match the placement the world was built
 	// with. Zero means 1.
 	PPN int
+	// PhaseNDup overrides the pipeline width for individual phases of the
+	// optimized kernel; phases absent from the map use NDup. The tuned
+	// configuration layer fills this from a persisted tuning table. Every
+	// rank must pass identical overrides. When two adjacent phases share a
+	// width the root still hands bands off pipelined (band c re-posted the
+	// moment it completes); when the widths differ the handoff falls back
+	// to a full wait between the phases.
+	PhaseNDup map[Phase]int
 }
 
 func (c *Config) validate() error {
@@ -39,7 +72,45 @@ func (c *Config) validate() error {
 	if c.NDup <= 0 {
 		return fmt.Errorf("core: NDup = %d", c.NDup)
 	}
+	for ph, nd := range c.PhaseNDup {
+		if !knownPhase(ph) {
+			return fmt.Errorf("core: unknown phase %q in PhaseNDup", ph)
+		}
+		if nd <= 0 {
+			return fmt.Errorf("core: PhaseNDup[%s] = %d", ph, nd)
+		}
+	}
 	return nil
+}
+
+func knownPhase(ph Phase) bool {
+	for _, p := range Phases {
+		if p == ph {
+			return true
+		}
+	}
+	return false
+}
+
+// phaseNDup returns the pipeline width for one phase: the override if set,
+// NDup otherwise.
+func (c *Config) phaseNDup(ph Phase) int {
+	if nd, ok := c.PhaseNDup[ph]; ok {
+		return nd
+	}
+	return c.NDup
+}
+
+// maxNDup returns the widest pipeline any phase uses — the number of
+// communicator duplicates each family needs.
+func (c *Config) maxNDup() int {
+	w := c.NDup
+	for _, nd := range c.PhaseNDup {
+		if nd > w {
+			w = nd
+		}
+	}
+	return w
 }
 
 // Env is the per-rank kernel environment: the mesh communicators plus NDup
@@ -89,12 +160,16 @@ func NewEnvOn(p *mpi.Proc, comm *mpi.Comm, dims mesh.Dims, cfg Config) (*Env, er
 		return nil, err
 	}
 	e := &Env{P: p, M: m, Cfg: cfg}
-	e.RowDup = m.Row.DupN(cfg.NDup)
-	e.ColDup = m.Col.DupN(cfg.NDup)
-	e.GridDup = m.Grid.DupN(cfg.NDup)
-	e.WorldDup = m.World.DupN(cfg.NDup)
+	width := cfg.maxNDup()
+	e.RowDup = m.Row.DupN(width)
+	e.ColDup = m.Col.DupN(width)
+	e.GridDup = m.Grid.DupN(width)
+	e.WorldDup = m.World.DupN(width)
 	return e, nil
 }
+
+// nd returns the pipeline width the optimized kernel uses for one phase.
+func (e *Env) nd(ph Phase) int { return e.Cfg.phaseNDup(ph) }
 
 // blocks returns the row/column partition of the global matrix over the
 // mesh edge.
@@ -126,7 +201,13 @@ func (e *Env) buf(m *mat.Matrix) mpi.Buffer {
 // "c-th part" of a block, kept contiguous so no repacking is needed between
 // pipelined operations (Section III principle 3).
 func (e *Env) bandBuf(m *mat.Matrix, c int) mpi.Buffer {
-	bd := mat.BlockDim{N: m.Rows, P: e.Cfg.NDup}
+	return e.bandBufN(m, c, e.Cfg.NDup)
+}
+
+// bandBufN is bandBuf with an explicit band count, for phases running at a
+// width other than the global NDup.
+func (e *Env) bandBufN(m *mat.Matrix, c, nd int) mpi.Buffer {
+	bd := mat.BlockDim{N: m.Rows, P: nd}
 	lo, n := bd.Offset(c), bd.Count(c)
 	if m.Phantom() {
 		return mpi.Phantom(int64(n) * int64(m.Cols) * 8)

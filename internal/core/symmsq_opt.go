@@ -7,8 +7,8 @@ import (
 
 // symmSquareCubeOptimized is Algorithm 5: the baseline kernel with every
 // communication phase pipelined and overlapped using the nonblocking
-// overlap technique. Each block is divided into NDup contiguous row bands;
-// band c travels on the c-th duplicated communicator, so
+// overlap technique. Each block is divided into contiguous row bands; band
+// c travels on the c-th duplicated communicator, so
 //
 //   - the grid broadcast of A overlaps the row broadcast of B: the row root
 //     re-broadcasts band c as soon as it arrives (lines 1-8);
@@ -17,14 +17,24 @@ import (
 //   - the D³ reduction overlaps the point-to-point shipments of D² and D³
 //     to plane 0 (lines 19-27).
 //
-// With NDup == 1 the schedule degenerates to Algorithm 4 with nonblocking
-// calls.
+// Each phase runs at its own pipeline width (Config.PhaseNDup, defaulting
+// to NDup). The band-by-band handoff between two overlapped phases only
+// makes sense when both run at the same width — band c of one is band c of
+// the other; when a tuned configuration gives them different widths, the
+// root waits for the whole producing phase before posting the consumer.
+// With every width 1 the schedule degenerates to Algorithm 4 with
+// nonblocking calls.
 func (e *Env) symmSquareCubeOptimized(d *mat.Matrix) (d2res, d3res *mat.Matrix) {
 	m := e.M
 	i, j, k := m.I, m.J, m.K
 	bd := e.blocks()
 	bi, bj, bk := bd.Count(i), bd.Count(j), bd.Count(k)
-	nd := e.Cfg.NDup
+	ndA := e.nd(PhaseBcastA)
+	ndB := e.nd(PhaseBcastB)
+	ndR2 := e.nd(PhaseReduce2)
+	ndB2 := e.nd(PhaseBcastB2)
+	ndR3 := e.nd(PhaseReduce3)
+	ndS := e.nd(PhaseShip)
 
 	// Lines 1-3: post the grid broadcasts of the A bands.
 	e.trace("start")
@@ -32,26 +42,32 @@ func (e *Env) symmSquareCubeOptimized(d *mat.Matrix) (d2res, d3res *mat.Matrix) 
 	if k == 0 && d != nil {
 		a.CopyFrom(d)
 	}
-	reqA := make([]*mpi.Request, nd)
-	for c := 0; c < nd; c++ {
-		reqA[c] = e.GridDup[c].Ibcast(0, e.bandBuf(a, c))
+	reqA := make([]*mpi.Request, ndA)
+	for c := 0; c < ndA; c++ {
+		reqA[c] = e.GridDup[c].Ibcast(0, e.bandBufN(a, c, ndA))
 	}
 
-	// Lines 4-7: row broadcasts of D_{k,j} (root i == k). The root pipelines:
-	// it waits for band c of its A block (which is D_{k,j}) and immediately
-	// re-broadcasts it; other ranks post their receive sides up front.
+	// Lines 4-7: row broadcasts of D_{k,j} (root i == k). When both phases
+	// share a width the root pipelines: it waits for band c of its A block
+	// (which is D_{k,j}) and immediately re-broadcasts it. Other ranks post
+	// their receive sides up front.
 	var braw *mat.Matrix
-	reqB := make([]*mpi.Request, nd)
+	reqB := make([]*mpi.Request, ndB)
 	if i == k {
 		braw = a
-		for c := 0; c < nd; c++ {
-			reqA[c].Wait()
-			reqB[c] = e.RowDup[c].Ibcast(k, e.bandBuf(a, c))
+		if ndA != ndB {
+			mpi.Waitall(reqA...)
+		}
+		for c := 0; c < ndB; c++ {
+			if ndA == ndB {
+				reqA[c].Wait()
+			}
+			reqB[c] = e.RowDup[c].Ibcast(k, e.bandBufN(a, c, ndB))
 		}
 	} else {
 		braw = e.newBlock(bk, bj)
-		for c := 0; c < nd; c++ {
-			reqB[c] = e.RowDup[c].Ibcast(k, e.bandBuf(braw, c))
+		for c := 0; c < ndB; c++ {
+			reqB[c] = e.RowDup[c].Ibcast(k, e.bandBufN(braw, c, ndB))
 		}
 	}
 
@@ -72,29 +88,35 @@ func (e *Env) symmSquareCubeOptimized(d *mat.Matrix) (d2res, d3res *mat.Matrix) 
 	if j == i {
 		d2loc = e.newBlock(bi, bk)
 	}
-	reqR2 := make([]*mpi.Request, nd)
-	for c := 0; c < nd; c++ {
+	reqR2 := make([]*mpi.Request, ndR2)
+	for c := 0; c < ndR2; c++ {
 		recv := mpi.Buffer{}
 		if j == i {
-			recv = e.bandBuf(d2loc, c)
+			recv = e.bandBufN(d2loc, c, ndR2)
 		}
-		reqR2[c] = e.ColDup[c].Ireduce(i, e.bandBuf(c1, c), recv, mpi.OpSum)
+		reqR2[c] = e.ColDup[c].Ireduce(i, e.bandBufN(c1, c, ndR2), recv, mpi.OpSum)
 	}
 
 	// Lines 13-16: the reduction root re-broadcasts each D² band across the
-	// row (root rank j) as soon as it completes; other ranks pre-post.
+	// row (root rank j) as soon as it completes — band by band when the
+	// widths match, after a full wait otherwise; other ranks pre-post.
 	var b2 *mat.Matrix
-	reqB2 := make([]*mpi.Request, nd)
+	reqB2 := make([]*mpi.Request, ndB2)
 	if i == j {
 		b2 = d2loc
-		for c := 0; c < nd; c++ {
-			reqR2[c].Wait()
-			reqB2[c] = e.RowDup[c].Ibcast(j, e.bandBuf(d2loc, c))
+		if ndR2 != ndB2 {
+			mpi.Waitall(reqR2...)
+		}
+		for c := 0; c < ndB2; c++ {
+			if ndR2 == ndB2 {
+				reqR2[c].Wait()
+			}
+			reqB2[c] = e.RowDup[c].Ibcast(j, e.bandBufN(d2loc, c, ndB2))
 		}
 	} else {
 		b2 = e.newBlock(bj, bk)
-		for c := 0; c < nd; c++ {
-			reqB2[c] = e.RowDup[c].Ibcast(j, e.bandBuf(b2, c))
+		for c := 0; c < ndB2; c++ {
+			reqB2[c] = e.RowDup[c].Ibcast(j, e.bandBufN(b2, c, ndB2))
 		}
 	}
 
@@ -113,13 +135,13 @@ func (e *Env) symmSquareCubeOptimized(d *mat.Matrix) (d2res, d3res *mat.Matrix) 
 	if j == k {
 		d3loc = e.newBlock(bi, bk)
 	}
-	reqR3 := make([]*mpi.Request, nd)
-	for c := 0; c < nd; c++ {
+	reqR3 := make([]*mpi.Request, ndR3)
+	for c := 0; c < ndR3; c++ {
 		recv := mpi.Buffer{}
 		if j == k {
-			recv = e.bandBuf(d3loc, c)
+			recv = e.bandBufN(d3loc, c, ndR3)
 		}
-		reqR3[c] = e.ColDup[c].Ireduce(k, e.bandBuf(c1, c), recv, mpi.OpSum)
+		reqR3[c] = e.ColDup[c].Ireduce(k, e.bandBufN(c1, c, ndR3), recv, mpi.OpSum)
 	}
 
 	e.trace("r3-posted")
@@ -134,13 +156,13 @@ func (e *Env) symmSquareCubeOptimized(d *mat.Matrix) (d2res, d3res *mat.Matrix) 
 	if k == 0 {
 		src2 := m.Dims.Rank(i, i, j) // holder of D²_{i,j}
 		if src2 != m.World.Rank() {
-			for c := 0; c < nd; c++ {
-				pending = append(pending, e.WorldDup[c].Irecv(src2, tagD2, e.bandBuf(d2res, c)))
+			for c := 0; c < ndS; c++ {
+				pending = append(pending, e.WorldDup[c].Irecv(src2, tagD2, e.bandBufN(d2res, c, ndS)))
 			}
 		}
 		if j != 0 { // D³_{i,j} arrives from grid rank j; j == 0 is local
-			for c := 0; c < nd; c++ {
-				pending = append(pending, e.GridDup[c].Irecv(j, tagD3, e.bandBuf(d3res, c)))
+			for c := 0; c < ndS; c++ {
+				pending = append(pending, e.GridDup[c].Irecv(j, tagD3, e.bandBufN(d3res, c, ndS)))
 			}
 		}
 	}
@@ -149,8 +171,8 @@ func (e *Env) symmSquareCubeOptimized(d *mat.Matrix) (d2res, d3res *mat.Matrix) 
 		if dst == m.World.Rank() {
 			d2res.CopyFrom(d2loc)
 		} else {
-			for c := 0; c < nd; c++ {
-				pending = append(pending, e.WorldDup[c].Isend(dst, tagD2, e.bandBuf(d2loc, c)))
+			for c := 0; c < ndS; c++ {
+				pending = append(pending, e.WorldDup[c].Isend(dst, tagD2, e.bandBufN(d2loc, c, ndS)))
 			}
 		}
 	}
@@ -159,9 +181,14 @@ func (e *Env) symmSquareCubeOptimized(d *mat.Matrix) (d2res, d3res *mat.Matrix) 
 			mpi.Waitall(reqR3...)
 			d3res.CopyFrom(d3loc)
 		} else {
-			for c := 0; c < nd; c++ {
-				reqR3[c].Wait()
-				pending = append(pending, e.GridDup[c].Isend(0, tagD3, e.bandBuf(d3loc, c)))
+			if ndR3 != ndS {
+				mpi.Waitall(reqR3...)
+			}
+			for c := 0; c < ndS; c++ {
+				if ndR3 == ndS {
+					reqR3[c].Wait()
+				}
+				pending = append(pending, e.GridDup[c].Isend(0, tagD3, e.bandBufN(d3loc, c, ndS)))
 			}
 		}
 		e.trace("r3-root-done")

@@ -113,6 +113,78 @@ func TestOptimizedNDupLargerThanBand(t *testing.T) {
 	checkVariant(t, Optimized, 2, 6, 5)
 }
 
+// checkPhased runs the optimized kernel with per-phase pipeline widths in
+// real arithmetic and compares against the serial oracle.
+func checkPhased(t *testing.T, p, n, ndup int, phased map[Phase]int) {
+	t.Helper()
+	dims := mesh.Cubic(p)
+	rng := rand.New(rand.NewSource(int64(1000*p + n + ndup)))
+	d := mat.RandSymmetric(n, rng)
+	wantD2, wantD3 := oracle(d)
+
+	var mu sync.Mutex
+	gotD2, gotD3 := mat.New(n, n), mat.New(n, n)
+	runKernelJob(t, dims, 4, nil, func(pr *mpi.Proc) {
+		env, err := NewEnv(pr, dims, Config{N: n, NDup: ndup, Real: true, PhaseNDup: phased})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		var dblk *mat.Matrix
+		if env.M.K == 0 {
+			dblk = mat.BlockView(d, p, env.M.I, env.M.J).Clone()
+		}
+		res := env.SymmSquareCube(Optimized, dblk)
+		if env.M.K == 0 {
+			mu.Lock()
+			mat.BlockView(gotD2, p, env.M.I, env.M.J).CopyFrom(res.D2)
+			mat.BlockView(gotD3, p, env.M.I, env.M.J).CopyFrom(res.D3)
+			mu.Unlock()
+		}
+	})
+	tol := 1e-10 * float64(n)
+	if diff := gotD2.MaxAbsDiff(wantD2); diff > tol {
+		t.Errorf("phased %v p=%d n=%d ndup=%d: D2 max diff %g", phased, p, n, ndup, diff)
+	}
+	if diff := gotD3.MaxAbsDiff(wantD3); diff > tol {
+		t.Errorf("phased %v p=%d n=%d ndup=%d: D3 max diff %g", phased, p, n, ndup, diff)
+	}
+}
+
+// TestOptimizedPhaseNDupCorrect: heterogeneous per-phase widths — including
+// widths above the base NDup, pipelined handoffs (adjacent phases equal) and
+// broken handoffs (adjacent phases different) — all match the oracle.
+func TestOptimizedPhaseNDupCorrect(t *testing.T) {
+	cases := []struct {
+		p, n, ndup int
+		phased     map[Phase]int
+	}{
+		// Handoff widths match (bcastA==bcastB, reduce2==bcastB2), others vary.
+		{2, 12, 2, map[Phase]int{PhaseBcastA: 4, PhaseBcastB: 4, PhaseReduce3: 3}},
+		// Every handoff broken: widths differ across each overlapped pair.
+		{2, 13, 1, map[Phase]int{PhaseBcastA: 3, PhaseBcastB: 2, PhaseReduce2: 4, PhaseBcastB2: 1, PhaseReduce3: 2, PhaseShip: 3}},
+		// Ship wider than reduce3, on a mesh where off-plane roots ship.
+		{3, 21, 2, map[Phase]int{PhaseReduce3: 1, PhaseShip: 4}},
+		// Override below the base width.
+		{2, 12, 4, map[Phase]int{PhaseReduce2: 1, PhaseBcastB2: 1}},
+	}
+	for _, tc := range cases {
+		checkPhased(t, tc.p, tc.n, tc.ndup, tc.phased)
+	}
+}
+
+func TestPhaseNDupValidation(t *testing.T) {
+	dims := mesh.Cubic(1)
+	runKernelJob(t, dims, 1, nil, func(pr *mpi.Proc) {
+		if _, err := NewEnv(pr, dims, Config{N: 4, NDup: 1, PhaseNDup: map[Phase]int{PhaseBcastA: 0}}); err == nil {
+			t.Error("PhaseNDup=0 accepted")
+		}
+		if _, err := NewEnv(pr, dims, Config{N: 4, NDup: 1, PhaseNDup: map[Phase]int{Phase("bogus"): 2}}); err == nil {
+			t.Error("unknown phase accepted")
+		}
+	})
+}
+
 func TestPhantomKernelRuns(t *testing.T) {
 	// Phantom mode at a larger dimension must complete and take time.
 	dims := mesh.Cubic(2)

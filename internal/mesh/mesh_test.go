@@ -60,6 +60,89 @@ func TestNaturalPlacement(t *testing.T) {
 	}
 }
 
+func TestPlacementEdgeCases(t *testing.T) {
+	// ppn larger than the job: everything lands on node 0, one node needed.
+	for r, node := range NaturalPlacement(3, 8) {
+		if node != 0 {
+			t.Errorf("size 3 ppn 8: rank %d on node %d", r, node)
+		}
+	}
+	if NodesNeeded(3, 8) != 1 {
+		t.Errorf("NodesNeeded(3, 8) = %d", NodesNeeded(3, 8))
+	}
+	// Non-divisible size: the last node is partially filled, never empty.
+	pl := NaturalPlacement(13, 4)
+	if last := pl[len(pl)-1]; last != 3 || NodesNeeded(13, 4) != 4 {
+		t.Errorf("size 13 ppn 4: last rank on node %d, %d nodes", last, NodesNeeded(13, 4))
+	}
+	// Single node round-robin degenerates to all-zero.
+	for r, node := range RoundRobinPlacement(5, 1) {
+		if node != 0 {
+			t.Errorf("1-node round robin: rank %d on node %d", r, node)
+		}
+	}
+	// Empty job: both placements return empty slices, zero nodes needed.
+	if len(NaturalPlacement(0, 4)) != 0 || len(RoundRobinPlacement(0, 4)) != 0 || NodesNeeded(0, 4) != 0 {
+		t.Error("size 0 not empty")
+	}
+	// Invalid widths panic rather than divide by zero.
+	for _, fn := range []func(){
+		func() { NaturalPlacement(4, 0) },
+		func() { RoundRobinPlacement(4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for zero width")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestPlacementCoversEveryRank: for any size and width, a placement assigns
+// every rank exactly one node, node IDs are dense in [0, nodes), and no node
+// exceeds its capacity (ppn for natural; ceil(size/nodes) for round-robin).
+func TestPlacementCoversEveryRank(t *testing.T) {
+	check := func(name string, pl []int, size, nodes, capacity int) bool {
+		if len(pl) != size {
+			t.Errorf("%s: %d assignments for %d ranks", name, len(pl), size)
+			return false
+		}
+		perNode := make(map[int]int)
+		for r, node := range pl {
+			if node < 0 || node >= nodes {
+				t.Errorf("%s: rank %d on node %d of %d", name, r, node, nodes)
+				return false
+			}
+			perNode[node]++
+		}
+		for node, count := range perNode {
+			if count > capacity {
+				t.Errorf("%s: node %d has %d ranks, capacity %d", name, node, count, capacity)
+				return false
+			}
+		}
+		// Dense: with size > 0 every node below NodesNeeded is used.
+		return len(perNode) == nodes
+	}
+	f := func(sz, width uint8) bool {
+		size, w := int(sz)+1, int(width%16)+1
+		nodes := NodesNeeded(size, w)
+		natural := check("natural", NaturalPlacement(size, w), size, nodes, w)
+		rrNodes := nodes
+		if rrNodes > size {
+			rrNodes = size
+		}
+		rr := check("round-robin", RoundRobinPlacement(size, rrNodes), size, rrNodes, (size+rrNodes-1)/rrNodes)
+		return natural && rr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestNodesNeededProperty(t *testing.T) {
 	f := func(sz, ppn uint8) bool {
 		size, p := int(sz)+1, int(ppn%16)+1

@@ -17,25 +17,22 @@ const (
 	collTagStride = 4096
 )
 
-// Algorithm switch-over points, following the MPICH defaults in spirit.
-// They are variables so ablation benchmarks can study the sensitivity of
-// the kernels to the collective-algorithm choice; production code should
-// treat them as constants.
-var (
-	// BcastLongMsg: above this byte count Bcast uses binomial scatter +
-	// ring allgather instead of a binomial tree.
-	BcastLongMsg int64 = 128 << 10
-	// ReduceLongMsg: above this byte count Reduce/Allreduce use
+// Algorithm switch-over defaults, following the MPICH defaults in spirit.
+// Each World snapshots them at creation into its BcastLongMsg and
+// ReduceLongMsg fields, so ablations and the auto-tuner can vary the
+// switch points per job — concurrently, without mutating shared state.
+const (
+	// DefaultBcastLongMsg: above this byte count Bcast uses binomial
+	// scatter + ring allgather instead of a binomial tree.
+	DefaultBcastLongMsg int64 = 128 << 10
+	// DefaultReduceLongMsg: above this byte count Reduce/Allreduce use
 	// Rabenseifner's reduce-scatter-based algorithms instead of binomial
 	// trees / recursive doubling.
-	ReduceLongMsg int64 = 64 << 10
+	DefaultReduceLongMsg int64 = 64 << 10
 )
 
 // postOverhead is the fixed CPU cost of issuing a (nonblocking) operation.
 const postOverhead = 3e-6
-
-// collDebug enables verbose collective tracing (development only).
-var collDebug = false
 
 func (c *Comm) nextCollTag() int {
 	c.checkUsable()
@@ -75,7 +72,7 @@ func (c *Comm) bcastRun(sp *sim.Proc, root int, buf Buffer, tag int) {
 	if p == 1 {
 		return
 	}
-	if buf.Bytes() <= BcastLongMsg || p == 2 {
+	if buf.Bytes() <= c.p.w.BcastLongMsg || p == 2 {
 		c.bcastBinomial(sp, root, buf, tag)
 		return
 	}
@@ -172,7 +169,7 @@ func (c *Comm) reduceRun(sp *sim.Proc, root int, sendBuf, recvBuf Buffer, op Op,
 		recvBuf.copyFrom(sendBuf)
 		return
 	}
-	if sendBuf.Bytes() <= ReduceLongMsg || p == 2 {
+	if sendBuf.Bytes() <= c.p.w.ReduceLongMsg || p == 2 {
 		c.reduceBinomial(sp, root, sendBuf, recvBuf, op, tag)
 		return
 	}
@@ -190,17 +187,8 @@ func (c *Comm) reduceBinomial(sp *sim.Proc, root int, sendBuf, recvBuf Buffer, o
 			srcVr := vr | mask
 			if srcVr < p {
 				tmp := scratchLike(acc, acc.Len())
-				if collDebug {
-					fmt.Printf("[%8.3fms] rank%d tag%d: recv posted\n", sp.Now()*1e3, c.rank, tag)
-				}
 				c.recvOn(sp, c.abs(srcVr, root), tag, tmp)
-				if collDebug {
-					fmt.Printf("[%8.3fms] rank%d tag%d: recv done, combining\n", sp.Now()*1e3, c.rank, tag)
-				}
 				c.chargeReduceArith(sp, acc.Bytes())
-				if collDebug {
-					fmt.Printf("[%8.3fms] rank%d tag%d: combine done\n", sp.Now()*1e3, c.rank, tag)
-				}
 				combineInto(acc, tmp, op)
 			}
 		} else {
@@ -279,21 +267,12 @@ func (c *Comm) rsHalving(sp *sim.Proc, acc Buffer, op Op, newrank, pof2, tagBase
 			keepLo, keepHi, sendLo, sendHi = mid, hi, lo, mid
 		}
 		tmp := scratchLike(acc, keepHi-keepLo)
-		if collDebug {
-			fmt.Printf("[%8.3fms] rank%d round%d: exchange with %d posted\n", sp.Now()*1e3, c.rank, round, partner)
-		}
 		sreq := c.isendOn(sp, partner, tagBase+round, acc.Slice(sendLo, sendHi))
 		c.recvOn(sp, partner, tagBase+round, tmp)
-		if collDebug {
-			fmt.Printf("[%8.3fms] rank%d round%d: recv done, combining\n", sp.Now()*1e3, c.rank, round)
-		}
 		keep := acc.Slice(keepLo, keepHi)
 		c.chargeReduceArith(sp, keep.Bytes())
 		combineInto(keep, tmp, op)
 		sreq.waitOn(sp)
-		if collDebug {
-			fmt.Printf("[%8.3fms] rank%d round%d: round complete\n", sp.Now()*1e3, c.rank, round)
-		}
 		lo, hi = keepLo, keepHi
 		round++
 	}
@@ -357,7 +336,7 @@ func (c *Comm) allreduceRun(sp *sim.Proc, buf Buffer, op Op, tagBase int) {
 	if p == 1 {
 		return
 	}
-	if buf.Bytes() <= ReduceLongMsg {
+	if buf.Bytes() <= c.p.w.ReduceLongMsg {
 		c.allreduceRecDoubling(sp, buf, op, tagBase)
 		return
 	}
@@ -504,6 +483,3 @@ func (c *Comm) Allreduce(buf Buffer, op Op) {
 func (c *Comm) Barrier() {
 	c.barrierRun(c.p.sp, c.nextCollTag())
 }
-
-// SetCollDebug toggles verbose collective tracing (development aid).
-func SetCollDebug(v bool) { collDebug = v }

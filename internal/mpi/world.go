@@ -40,6 +40,16 @@ type World struct {
 	// relative to reductions (broadcast implementations stage lazily).
 	BcastStageFactor float64
 
+	// BcastLongMsg and ReduceLongMsg are this job's collective-algorithm
+	// switch-over points (see DefaultBcastLongMsg/DefaultReduceLongMsg):
+	// payloads above them select the long-message algorithms (van de Geijn
+	// scatter-allgather, Rabenseifner). They are per-World so concurrent
+	// simulator replicas — ablations, the overlap auto-tuner — can study
+	// different switch points without mutating shared state. Set them
+	// before Launch; every rank of the job observes the same values.
+	BcastLongMsg  int64
+	ReduceLongMsg int64
+
 	// Probe, when non-nil, observes every protocol step of every message
 	// (post, in-order envelope admission, match) as a typed trace record.
 	// The schedule-exploration checker installs it to verify non-overtaking
@@ -115,6 +125,8 @@ func NewWorld(net *simnet.Net, size int, placement []int) (*World, error) {
 		Net:              net,
 		splitSlots:       make(map[splitKey]*splitSlot),
 		BcastStageFactor: 3.0,
+		BcastLongMsg:     DefaultBcastLongMsg,
+		ReduceLongMsg:    DefaultReduceLongMsg,
 		MaxPollTime:      3600, // one virtual hour: far beyond any legitimate sim
 		open:             make(map[*Request]reqInfo),
 	}

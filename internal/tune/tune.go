@@ -1,0 +1,416 @@
+// Package tune is the per-kernel overlap auto-tuner: given a set of kernel
+// descriptors (collective operation, payload, node count), it sweeps the
+// overlap parameter space the paper exposes — N_DUP, active PPN (surplus
+// ranks parked on an Ibarrier), the collective algorithm switch-over points
+// and the fabric protocol knobs — over independent simulator replicas and
+// persists the measured bandwidths plus the winner per kernel as a JSON
+// tuning table.
+//
+// Every cell is an isolated simulation fanned through internal/runner, so
+// the search is deterministic: the table is byte-identical at any worker
+// count. Each cell also carries a provenance hash of everything that
+// determines its bandwidth (machine config, kernel, parameters, launch
+// width); a warm start re-evaluates only the cells whose hash changed.
+package tune
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+
+	"commoverlap/internal/mesh"
+	"commoverlap/internal/mpi"
+	"commoverlap/internal/runner"
+	"commoverlap/internal/sim"
+	"commoverlap/internal/simnet"
+)
+
+// Kernel describes one communication kernel to tune: a collective operation
+// of a total payload across a node count.
+type Kernel struct {
+	Op    string `json:"op"`    // "bcast" or "reduce"
+	Bytes int64  `json:"bytes"` // total collective payload in bytes
+	Nodes int    `json:"nodes"` // participating nodes
+}
+
+// Name returns the kernel's stable identifier, e.g. "reduce-16MiB-4n".
+func (k Kernel) Name() string {
+	return fmt.Sprintf("%s-%s-%dn", k.Op, sizeLabel(k.Bytes), k.Nodes)
+}
+
+func (k Kernel) validate() error {
+	if k.Op != "bcast" && k.Op != "reduce" {
+		return fmt.Errorf("tune: kernel op %q (want bcast or reduce)", k.Op)
+	}
+	if k.Bytes <= 0 {
+		return fmt.Errorf("tune: kernel bytes %d", k.Bytes)
+	}
+	if k.Nodes <= 1 {
+		return fmt.Errorf("tune: kernel nodes %d", k.Nodes)
+	}
+	return nil
+}
+
+func sizeLabel(b int64) string {
+	switch {
+	case b >= 1<<20 && b%(1<<20) == 0:
+		return fmt.Sprintf("%dMiB", b>>20)
+	case b >= 1<<10 && b%(1<<10) == 0:
+		return fmt.Sprintf("%dKiB", b>>10)
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+// Params is one cell of the overlap parameter space. The protocol knobs are
+// optional: zero means "the calibrated default".
+type Params struct {
+	// NDup is the number of duplicated communicators, each carrying 1/NDup
+	// of the payload (the nonblocking-overlap width).
+	NDup int `json:"ndup"`
+	// PPN is the number of active ranks per node; the kernel's collective
+	// runs in PPN column communicators of one rank per node each, and the
+	// surplus launched ranks park (the per-kernel PPN mechanism).
+	PPN int `json:"ppn"`
+	// BcastLongMsg and ReduceLongMsg override the collective-algorithm
+	// switch-over points (per-World configuration).
+	BcastLongMsg  int64 `json:"bcast_long_msg,omitempty"`
+	ReduceLongMsg int64 `json:"reduce_long_msg,omitempty"`
+	// ChunkBytes and EagerLimit override the fabric protocol.
+	ChunkBytes int64 `json:"chunk_bytes,omitempty"`
+	EagerLimit int64 `json:"eager_limit,omitempty"`
+}
+
+func (p Params) validate() error {
+	if p.NDup <= 0 || p.PPN <= 0 {
+		return fmt.Errorf("tune: params ndup=%d ppn=%d", p.NDup, p.PPN)
+	}
+	return nil
+}
+
+// label is the canonical cell key used for hashing, warm-start matching and
+// CSV output.
+func (p Params) label() string {
+	return fmt.Sprintf("ndup=%d,ppn=%d,bcastlong=%d,reducelong=%d,chunk=%d,eager=%d",
+		p.NDup, p.PPN, p.BcastLongMsg, p.ReduceLongMsg, p.ChunkBytes, p.EagerLimit)
+}
+
+// Grid is the parameter grid a search sweeps: the cross product of NDups,
+// PPNs and Protocols (protocol-knob variants; include the zero Params for
+// the calibrated default).
+type Grid struct {
+	Name  string `json:"name"`
+	NDups []int  `json:"ndups"`
+	PPNs  []int  `json:"ppns"`
+	// LaunchPPN is how many ranks per node every measurement job launches;
+	// cells with PPN < LaunchPPN park the surplus. Keeping it constant
+	// across cells makes the parked-rank overhead part of the measurement,
+	// exactly as in a real application that launches once.
+	LaunchPPN int `json:"launch_ppn"`
+	// Protocols are the protocol-knob variants to cross with every
+	// (NDup, PPN); only the knob fields of each entry are read.
+	Protocols []Params `json:"protocols"`
+}
+
+// QuickGrid is the coarse grid behind `overlapbench tune -quick` and the CI
+// smoke table: the calibrated protocol with the overlap axes only.
+func QuickGrid() Grid {
+	return Grid{
+		Name:      "quick",
+		NDups:     []int{1, 2, 4},
+		PPNs:      []int{1, 2, 4},
+		LaunchPPN: 4,
+		Protocols: []Params{{}},
+	}
+}
+
+// FullGrid is the full search space: N_DUP 1..8, PPN up to 8, and the
+// protocol variants (forced collective algorithms, chunk sizes, eager
+// limit) crossed in.
+func FullGrid() Grid {
+	return Grid{
+		Name:      "full",
+		NDups:     []int{1, 2, 3, 4, 5, 6, 7, 8},
+		PPNs:      []int{1, 2, 4, 8},
+		LaunchPPN: 8,
+		Protocols: []Params{
+			{},                       // calibrated default
+			{BcastLongMsg: 1 << 30},  // force binomial bcast
+			{ReduceLongMsg: 1 << 30}, // force binomial reduce
+			{ChunkBytes: 64 << 10},   // finer pipeline
+			{ChunkBytes: 1 << 20},    // coarser pipeline
+			{EagerLimit: 1},          // rendezvous everything
+		},
+	}
+}
+
+func (g Grid) validate() error {
+	if len(g.NDups) == 0 || len(g.PPNs) == 0 || len(g.Protocols) == 0 {
+		return fmt.Errorf("tune: empty grid axis")
+	}
+	if g.LaunchPPN <= 0 {
+		return fmt.Errorf("tune: launch PPN %d", g.LaunchPPN)
+	}
+	for _, ppn := range g.PPNs {
+		if ppn <= 0 || ppn > g.LaunchPPN {
+			return fmt.Errorf("tune: grid PPN %d outside 1..%d", ppn, g.LaunchPPN)
+		}
+	}
+	return nil
+}
+
+// cellsFor returns the grid's parameter cells for one kernel, in canonical
+// order. Protocol variants that only move the other operation's switch
+// point are skipped — they cannot change this kernel's schedule.
+func (g Grid) cellsFor(k Kernel) []Params {
+	var out []Params
+	for _, proto := range g.Protocols {
+		if k.Op == "bcast" && proto.ReduceLongMsg != 0 && onlySwitchKnob(proto) {
+			continue
+		}
+		if k.Op == "reduce" && proto.BcastLongMsg != 0 && onlySwitchKnob(proto) {
+			continue
+		}
+		for _, ndup := range g.NDups {
+			for _, ppn := range g.PPNs {
+				p := proto
+				p.NDup, p.PPN = ndup, ppn
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// onlySwitchKnob reports whether the variant touches nothing but the
+// collective switch-over points.
+func onlySwitchKnob(p Params) bool {
+	return p.ChunkBytes == 0 && p.EagerLimit == 0
+}
+
+// DefaultKernels is the kernel set the paper's evaluation exercises: the
+// Fig. 5 micro-benchmark regimes (large and small payloads on 4 nodes) and
+// the 64-node paper-scale reduction.
+func DefaultKernels() []Kernel {
+	return []Kernel{
+		{Op: "reduce", Bytes: 16 << 20, Nodes: 4},
+		{Op: "bcast", Bytes: 16 << 20, Nodes: 4},
+		{Op: "reduce", Bytes: 64 << 10, Nodes: 4},
+		{Op: "reduce", Bytes: 16 << 20, Nodes: 64},
+	}
+}
+
+// Measure runs one cell: a fresh simulated machine of k.Nodes nodes with
+// grid-constant launchPPN ranks per node, p.PPN of them active. The active
+// ranks run the collective split across p.PPN column communicators (one
+// rank per node each) times p.NDup duplicates; the surplus ranks park on an
+// Ibarrier with the paper's Test+usleep poll. Returns bandwidth in bytes/s
+// under the paper's volume convention (2(p-1)/p * n).
+func Measure(k Kernel, p Params, launchPPN int) (float64, error) {
+	if err := k.validate(); err != nil {
+		return 0, err
+	}
+	if err := p.validate(); err != nil {
+		return 0, err
+	}
+	if p.PPN > launchPPN {
+		return 0, fmt.Errorf("tune: PPN %d exceeds launch PPN %d", p.PPN, launchPPN)
+	}
+	cfg := simnet.DefaultConfig(k.Nodes)
+	if p.ChunkBytes != 0 {
+		cfg.ChunkBytes = p.ChunkBytes
+	}
+	if p.EagerLimit != 0 {
+		cfg.EagerLimit = p.EagerLimit
+	}
+	eng := sim.NewEngine()
+	net, err := simnet.New(eng, cfg)
+	if err != nil {
+		return 0, err
+	}
+	ranks := k.Nodes * launchPPN
+	w, err := mpi.NewWorld(net, ranks, mesh.NaturalPlacement(ranks, launchPPN))
+	if err != nil {
+		return 0, err
+	}
+	if p.BcastLongMsg != 0 {
+		w.BcastLongMsg = p.BcastLongMsg
+	}
+	if p.ReduceLongMsg != 0 {
+		w.ReduceLongMsg = p.ReduceLongMsg
+	}
+	var elapsed float64
+	w.Launch(func(pr *mpi.Proc) {
+		// Column communicators (one rank per node each) are split off while
+		// every rank is awake — communicator creation is collective — and
+		// only then do the surplus ranks park.
+		lane := pr.Rank() % launchPPN
+		color := lane
+		if lane >= p.PPN {
+			color = -1
+		}
+		col := pr.World().Split(color, pr.Rank()/launchPPN)
+		var comms []*mpi.Comm
+		if col != nil {
+			comms = col.DupN(p.NDup)
+		}
+		mpi.RunActive(pr, pr.World(), col != nil, mpi.DefaultPollInterval, func() {
+			t0 := pr.Now()
+			share := k.Bytes / int64(p.PPN) / int64(p.NDup)
+			if share == 0 {
+				share = 1
+			}
+			reqs := make([]*mpi.Request, p.NDup)
+			for d := 0; d < p.NDup; d++ {
+				b := mpi.Phantom(share)
+				if k.Op == "bcast" {
+					reqs[d] = comms[d].Ibcast(0, b)
+				} else {
+					reqs[d] = comms[d].Ireduce(0, b, b, mpi.OpSum)
+				}
+			}
+			mpi.Waitall(reqs...)
+			if dt := pr.Now() - t0; dt > elapsed {
+				elapsed = dt
+			}
+		})
+	})
+	if err := eng.Run(); err != nil {
+		return 0, err
+	}
+	vol := 2 * float64(k.Nodes-1) / float64(k.Nodes) * float64(k.Bytes)
+	return vol / elapsed, nil
+}
+
+// cellHash fingerprints everything that determines one cell's bandwidth:
+// the table format version, the machine calibration, the kernel, the
+// parameters and the launch width. Warm starts reuse a persisted cell only
+// when its hash still matches. The Go version and seed are provenance of
+// the table, not of the physics, so they stay out of the hash — the
+// simulator is exact arithmetic over a deterministic schedule.
+func cellHash(k Kernel, p Params, launchPPN int) string {
+	cfg := simnet.DefaultConfig(k.Nodes)
+	h := fnv.New64a()
+	fmt.Fprintf(h, "v%d|%+v|%s/%d/%d|%s|launch=%d",
+		TableVersion, cfg, k.Op, k.Bytes, k.Nodes, p.label(), launchPPN)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Options configures a search.
+type Options struct {
+	Grid    Grid
+	Kernels []Kernel // nil = DefaultKernels
+	// Workers bounds the replica pool (0 = OVERLAP_WORKERS or GOMAXPROCS,
+	// 1 = sequential). The table is byte-identical at any width.
+	Workers int
+	// Seed is recorded as provenance. The simulator is deterministic, so it
+	// does not perturb the measurements; it exists so noise-perturbed
+	// variants of the search stay reproducible.
+	Seed int64
+	// Warm, when non-nil, is a previously persisted table: cells whose
+	// provenance hash still matches are reused without re-simulation.
+	Warm *Table
+	// Progress, when non-nil, receives one line per kernel as the search
+	// completes it.
+	Progress func(string)
+}
+
+// Search sweeps the grid over every kernel and returns the tuning table.
+// All cells across all kernels fan through one index-keyed worker pool, so
+// the result is byte-identical at any worker count.
+func Search(opts Options) (*Table, error) {
+	if err := opts.Grid.validate(); err != nil {
+		return nil, err
+	}
+	kernels := opts.Kernels
+	if kernels == nil {
+		kernels = DefaultKernels()
+	}
+	for _, k := range kernels {
+		if err := k.validate(); err != nil {
+			return nil, err
+		}
+	}
+	// Flatten (kernel, cell) into one case list.
+	type caseRef struct {
+		ki     int
+		params Params
+		hash   string
+	}
+	var cases []caseRef
+	perKernel := make([][]Params, len(kernels))
+	for ki, k := range kernels {
+		perKernel[ki] = opts.Grid.cellsFor(k)
+		for _, p := range perKernel[ki] {
+			cases = append(cases, caseRef{ki, p, cellHash(k, p, opts.Grid.LaunchPPN)})
+		}
+	}
+	warm := warmIndex(opts.Warm)
+	cells, err := runner.Map(len(cases), opts.Workers, func(i int) (Cell, error) {
+		cr := cases[i]
+		cell := Cell{Params: cr.params, Hash: cr.hash}
+		if bw, ok := warm[warmKey{kernels[cr.ki].Name(), cr.hash}]; ok {
+			cell.BW = bw
+			cell.Warm = true
+			return cell, nil
+		}
+		bw, err := Measure(kernels[cr.ki], cr.params, opts.Grid.LaunchPPN)
+		cell.BW = bw
+		return cell, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Version:   TableVersion,
+		Grid:      opts.Grid,
+		Seed:      opts.Seed,
+		GoVersion: runtime.Version(),
+	}
+	t.ConfigHash = t.configHash(kernels)
+	ci := 0
+	for ki, k := range kernels {
+		e := Entry{Kernel: k}
+		for range perKernel[ki] {
+			e.Cells = append(e.Cells, cells[ci])
+			ci++
+		}
+		e.pickBest()
+		if opts.Progress != nil {
+			opts.Progress(fmt.Sprintf("%-20s %3d cells, best %s at %.0f MB/s",
+				k.Name(), len(e.Cells), e.Best.label(), e.BestBW/1e6))
+		}
+		t.Entries = append(t.Entries, e)
+	}
+	return t, nil
+}
+
+// warmKey identifies a reusable cell: same kernel, same provenance hash.
+type warmKey struct {
+	kernel string
+	hash   string
+}
+
+func warmIndex(t *Table) map[warmKey]float64 {
+	idx := make(map[warmKey]float64)
+	if t == nil {
+		return idx
+	}
+	for _, e := range t.Entries {
+		for _, c := range e.Cells {
+			idx[warmKey{e.Kernel.Name(), c.Hash}] = c.BW
+		}
+	}
+	return idx
+}
+
+// pickBest selects the entry's winner: the highest bandwidth, first cell in
+// canonical order on exact ties.
+func (e *Entry) pickBest() {
+	for _, c := range e.Cells {
+		if c.BW > e.BestBW {
+			e.BestBW = c.BW
+			e.Best = c.Params
+		}
+	}
+}
