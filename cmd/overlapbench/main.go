@@ -12,7 +12,9 @@
 // table5 (the paper's artifacts), plus the extensions solver
 // (pipelined-CG future work), algos (2D/3D/2.5D family comparison),
 // ablate (design-knob sensitivity), sparse (block-sparse SUMMA), scaling
-// (strong scaling), noise (the skew-resilience experiment: Fig. 5's cases
+// (strong scaling), topo (the same allreduce swept over N_DUP, PPN and the
+// collective-algorithm family on the flat vs the hierarchical fabric — the
+// tuned winner is fabric-dependent), noise (the skew-resilience experiment: Fig. 5's cases
 // re-measured under seeded machine noise from internal/faults — also
 // reachable as the -noise flag), paperscale (64-node collectives plus
 // kernel/application strong scaling to 216 nodes; add -tuned to apply the
@@ -286,6 +288,14 @@ func main() {
 	run("ablate", func() error { _, err := bench.Ablate(os.Stdout, *n); return err })
 	run("sparse", func() error { _, err := bench.Sparse(os.Stdout, 0); return err })
 	run("scaling", func() error { _, err := bench.Scaling(os.Stdout, *n); return err })
+	run("topo", func() error {
+		res, err := bench.Topo(os.Stdout)
+		if err != nil {
+			return err
+		}
+		csvOut("topo", func(f io.Writer) error { return res.WriteCSV(f) })
+		return nil
+	})
 	run("paperscale", func() error {
 		var res bench.PaperScaleResult
 		var err error

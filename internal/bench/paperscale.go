@@ -148,7 +148,7 @@ func PaperScaleTuned(w io.Writer, n int, table *tune.Table) (PaperScaleResult, e
 	want := tune.Kernel{Op: "reduce", Bytes: paperScaleSize, Nodes: PaperScaleNodes}
 	entry := table.Lookup(want)
 	if entry == nil {
-		entry = table.Nearest(want.Op, want.Bytes, want.Nodes)
+		entry = table.Nearest(want.Op, want.Bytes, want.Nodes, want.Topo)
 	}
 	if entry == nil {
 		return res, fmt.Errorf("bench: tuning table has no reduce entries")

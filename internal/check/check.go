@@ -67,7 +67,16 @@ type Scenario struct {
 	Ranks     int
 	Nodes     int
 	Placement []int // optional rank -> node map; nil = round robin
-	Body      func(p *mpi.Proc, fail Failf)
+	// Topo names the fabric topology the job runs on (simnet.TopoByName);
+	// empty is the flat fabric. Topology-aware scenarios let the explorer
+	// drive interior-link contention (shared uplinks, torus rails) through
+	// the same invariant battery as the flat fabric.
+	Topo string
+	// Setup, when non-nil, configures the world before launch — forcing a
+	// collective-algorithm family member, adjusting switch points. Unlike
+	// Options.Mutate it is part of the scenario itself, not a test hook.
+	Setup func(w *mpi.World)
+	Body  func(p *mpi.Proc, fail Failf)
 }
 
 // Options tunes one checker run.
@@ -132,7 +141,14 @@ func RunScenario(sc Scenario, opts Options) Report {
 	}
 	events := watchClock(eng, col)
 
-	net, err := simnet.New(eng, simnet.DefaultConfig(sc.Nodes))
+	cfg := simnet.DefaultConfig(sc.Nodes)
+	topo, err := simnet.TopoByName(sc.Topo, sc.Nodes)
+	if err != nil {
+		col.addf("setup", "topology: %v", err)
+		return Report{Violations: col.violations}
+	}
+	cfg.Topo = topo
+	net, err := simnet.New(eng, cfg)
 	if err != nil {
 		col.addf("setup", "simnet: %v", err)
 		return Report{Violations: col.violations}
@@ -144,6 +160,9 @@ func RunScenario(sc Scenario, opts Options) Report {
 	}
 	// Any runaway poll spin should trip fast enough to diagnose.
 	w.MaxPollTime = 60
+	if sc.Setup != nil {
+		sc.Setup(w)
+	}
 	if opts.Mutate != nil {
 		opts.Mutate(w)
 	}

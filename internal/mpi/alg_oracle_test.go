@@ -1,0 +1,225 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"commoverlap/internal/runner"
+	"commoverlap/internal/sim"
+	"commoverlap/internal/simnet"
+)
+
+// algScenario is one randomized oracle case: a world shape, a payload and a
+// fabric topology.
+type algScenario struct {
+	ranks, elems, root int
+	op                 Op
+	topo               string
+}
+
+// runAlgWorld runs all three collectives on one world with the given forced
+// algorithms and returns the bcast, reduce and allreduce result buffers
+// (reduce result from the root).
+func runAlgWorld(sc algScenario, bcastAlg, reduceAlg, allreduceAlg string) (bcast, reduce, allreduce []float64, err error) {
+	nodes := (sc.ranks + 1) / 2
+	cfg := simnet.DefaultConfig(nodes)
+	if cfg.Topo, err = simnet.TopoByName(sc.topo, nodes); err != nil {
+		return nil, nil, nil, err
+	}
+	eng := sim.NewEngine()
+	net, err := simnet.New(eng, cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	w, err := NewWorld(net, sc.ranks, nil)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	w.BcastAlg, w.ReduceAlg, w.AllreduceAlg = bcastAlg, reduceAlg, allreduceAlg
+
+	val := func(r, i int) float64 { return float64((r + 2) * (i%13 + 1)) }
+	bcast = make([]float64, sc.elems)
+	reduce = make([]float64, sc.elems)
+	allreduce = make([]float64, sc.elems)
+	w.Launch(func(p *Proc) {
+		c := p.World()
+		bbuf := make([]float64, sc.elems)
+		if p.Rank() == sc.root {
+			for i := range bbuf {
+				bbuf[i] = val(sc.root, i)
+			}
+		}
+		c.Bcast(sc.root, F64(bbuf))
+		if p.Rank() == sc.root {
+			copy(bcast, bbuf)
+		}
+
+		send := make([]float64, sc.elems)
+		for i := range send {
+			send[i] = val(p.Rank(), i)
+		}
+		recv := make([]float64, sc.elems)
+		c.Reduce(sc.root, F64(send), F64(recv), sc.op)
+		if p.Rank() == sc.root {
+			copy(reduce, recv)
+		}
+
+		abuf := make([]float64, sc.elems)
+		for i := range abuf {
+			abuf[i] = val(p.Rank(), i)
+		}
+		c.Allreduce(F64(abuf), sc.op)
+		// Record rank 0's allreduce result; TestAllreduceAllRanksAgree
+		// covers cross-rank agreement separately.
+		if p.Rank() == 0 {
+			copy(allreduce, abuf)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		return nil, nil, nil, err
+	}
+	if err := w.CheckClean(); err != nil {
+		return nil, nil, nil, err
+	}
+	return bcast, reduce, allreduce, nil
+}
+
+// TestAlgOracle is the cross-algorithm oracle property test: for randomized
+// (ranks, element counts, operators, topologies), every member of the
+// collective-algorithm family must produce byte-identical results to the
+// blocking flat-topology reference (AlgAuto on the flat fabric). Payloads
+// are small integers so float64 sums are exact regardless of association
+// order — any difference is a real schedule bug, not roundoff. Scenarios
+// fan through the replica runner, so `go test -race` exercises concurrent
+// independent worlds. CheckClean must pass for every variant.
+func TestAlgOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var scenarios []algScenario
+	for i := 0; i < 12; i++ {
+		sc := algScenario{
+			ranks: 2 + rng.Intn(9),                              // 2..10: primes, powers of two, composites
+			elems: []int{0, 1, 7, 300, 5000, 9001}[rng.Intn(6)], // straddles the eager limit
+			op:    []Op{OpSum, OpMax}[rng.Intn(2)],
+			topo:  []string{"", "hier", "torus"}[i%3],
+		}
+		sc.root = rng.Intn(sc.ranks)
+		scenarios = append(scenarios, sc)
+	}
+
+	_, err := runner.Map(len(scenarios), 4, func(i int) (int, error) {
+		sc := scenarios[i]
+		// The blocking flat-topology reference.
+		refB, refR, refA, err := runAlgWorld(algScenario{sc.ranks, sc.elems, sc.root, sc.op, ""}, AlgAuto, AlgAuto, AlgAuto)
+		if err != nil {
+			return 0, fmt.Errorf("scenario %+v reference: %w", sc, err)
+		}
+		// Cross every allreduce variant with the bcast/reduce variants.
+		arAlgs := AllreduceAlgs()
+		for vi, arAlg := range arAlgs {
+			bAlg := BcastAlgs()[vi%len(BcastAlgs())]
+			rAlg := ReduceAlgs()[vi%len(ReduceAlgs())]
+			gotB, gotR, gotA, err := runAlgWorld(sc, bAlg, rAlg, arAlg)
+			if err != nil {
+				return 0, fmt.Errorf("scenario %+v algs (%s,%s,%s): %w", sc, bAlg, rAlg, arAlg, err)
+			}
+			for name, pair := range map[string][2][]float64{
+				"bcast/" + bAlg:      {refB, gotB},
+				"reduce/" + rAlg:     {refR, gotR},
+				"allreduce/" + arAlg: {refA, gotA},
+			} {
+				for e := range pair[0] {
+					if math.Float64bits(pair[0][e]) != math.Float64bits(pair[1][e]) {
+						return 0, fmt.Errorf("scenario %+v %s: elem %d = %g, reference %g",
+							sc, name, e, pair[1][e], pair[0][e])
+					}
+				}
+			}
+		}
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllreduceAllRanksAgree: with a forced algorithm, every rank ends an
+// allreduce holding the identical buffer (checked per rank, not just on the
+// recorded one).
+func TestAllreduceAllRanksAgree(t *testing.T) {
+	for _, alg := range AllreduceAlgs() {
+		for _, ranks := range []int{2, 3, 6, 8, 9} {
+			eng := sim.NewEngine()
+			net, err := simnet.New(eng, simnet.DefaultConfig((ranks+1)/2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, err := NewWorld(net, ranks, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w.AllreduceAlg = alg
+			const elems = 1031 // prime, so blocks split unevenly
+			want := make([]float64, elems)
+			for i := range want {
+				for r := 0; r < ranks; r++ {
+					want[i] += float64((r + 1) * (i%7 + 1))
+				}
+			}
+			w.Launch(func(p *Proc) {
+				buf := make([]float64, elems)
+				for i := range buf {
+					buf[i] = float64((p.Rank() + 1) * (i%7 + 1))
+				}
+				p.World().Allreduce(F64(buf), OpSum)
+				for i := range buf {
+					if buf[i] != want[i] {
+						t.Errorf("%s p=%d: rank %d elem %d = %g, want %g",
+							alg, ranks, p.Rank(), i, buf[i], want[i])
+						return
+					}
+				}
+			})
+			if err := eng.Run(); err != nil {
+				t.Fatalf("%s p=%d: %v", alg, ranks, err)
+			}
+			if err := w.CheckClean(); err != nil {
+				t.Fatalf("%s p=%d: %v", alg, ranks, err)
+			}
+		}
+	}
+}
+
+// TestUnknownAlgPanics: a typo'd algorithm name fails fast at the first
+// collective rather than silently running the default.
+func TestUnknownAlgPanics(t *testing.T) {
+	for _, set := range []func(*World){
+		func(w *World) { w.BcastAlg = "bogus" },
+		func(w *World) { w.ReduceAlg = "bogus" },
+		func(w *World) { w.AllreduceAlg = "bogus" },
+	} {
+		eng := sim.NewEngine()
+		net, err := simnet.New(eng, simnet.DefaultConfig(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := NewWorld(net, 4, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set(w)
+		w.Launch(func(p *Proc) {
+			defer func() {
+				if recover() == nil {
+					t.Error("unknown algorithm did not panic")
+				}
+			}()
+			buf := make([]float64, 1024)
+			p.World().Bcast(0, F64(buf))
+			p.World().Reduce(0, F64(buf), F64(buf), OpSum)
+			p.World().Allreduce(F64(buf), OpSum)
+		})
+		_ = eng.Run()
+	}
+}

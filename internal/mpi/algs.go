@@ -1,0 +1,241 @@
+package mpi
+
+import "commoverlap/internal/sim"
+
+// The collective-algorithm family. Beyond the switch-point pair the World
+// already exposes, the family adds topology-sensitive allreduce schedules:
+// the ring (nearest-neighbor traffic only, which a hierarchical fabric's
+// contiguous groups keep mostly intra-group), Bruck's shifted dissemination
+// (log rounds of full-buffer exchanges at power-of-two distances), and the
+// mixed-radix shift schedule of Kolmakov & Zhang's allreduce generalization
+// (one reduce-scatter phase per prime factor of p, mirrored for the
+// allgather). All three reduce exactly like the reference algorithms —
+// byte-identical results, property-tested in alg_oracle_test.go.
+
+// Algorithm names accepted by World.BcastAlg, World.ReduceAlg and
+// World.AllreduceAlg.
+const (
+	// AlgAuto selects per call via the World's switch points.
+	AlgAuto = ""
+	// AlgBinomial is the binomial tree (bcast, reduce).
+	AlgBinomial = "binomial"
+	// AlgScatterAllgather is the van de Geijn long-message bcast.
+	AlgScatterAllgather = "scatter-allgather"
+	// AlgRecDouble is recursive-doubling allreduce.
+	AlgRecDouble = "recdouble"
+	// AlgRabenseifner is the reduce-scatter-based long-message algorithm
+	// (reduce, allreduce).
+	AlgRabenseifner = "rabenseifner"
+	// AlgRing is the ring allreduce: p-1 reduce-scatter rounds plus p-1
+	// allgather rounds over 1/p-sized blocks, nearest neighbors only.
+	AlgRing = "ring"
+	// AlgBruck is the Bruck-style allreduce: fold to a power of two, then
+	// log2 rounds sending the full accumulator to rank+2^k.
+	AlgBruck = "bruck"
+	// AlgShift is the mixed-radix shift schedule: one direct-exchange
+	// reduce-scatter phase per prime factor of p, mirrored back for the
+	// allgather.
+	AlgShift = "shift"
+)
+
+// BcastAlgs lists the forcible broadcast algorithms (excluding AlgAuto).
+func BcastAlgs() []string { return []string{AlgBinomial, AlgScatterAllgather} }
+
+// ReduceAlgs lists the forcible rooted-reduce algorithms.
+func ReduceAlgs() []string { return []string{AlgBinomial, AlgRabenseifner} }
+
+// AllreduceAlgs lists the forcible allreduce algorithms.
+func AllreduceAlgs() []string {
+	return []string{AlgRecDouble, AlgRabenseifner, AlgRing, AlgBruck, AlgShift}
+}
+
+// blockRange returns block b of n elements split into p near-equal
+// contiguous blocks (the ring and shift schedules' granularity).
+func blockRange(n, p, b int) (lo, hi int) { return b * n / p, (b + 1) * n / p }
+
+// allreduceRing: blocks circulate around the rank ring. Reduce-scatter: in
+// round s every rank sends block (rank-s) mod p — its running partial sum —
+// to its right neighbor and combines the block arriving from the left, so
+// after p-1 rounds rank r holds the complete sum of block (r+1) mod p.
+// Allgather: the completed blocks make another p-1 trips. All traffic is
+// nearest-neighbor, which keeps it inside hierarchical groups except at the
+// group seams.
+func (c *Comm) allreduceRing(sp *sim.Proc, buf Buffer, op Op, tagBase int) {
+	p := c.Size()
+	n := buf.Len()
+	right := (c.rank + 1) % p
+	left := (c.rank - 1 + p) % p
+	for s := 0; s < p-1; s++ {
+		sb := ((c.rank-s)%p + p) % p
+		rb := ((c.rank-s-1)%p + p) % p
+		slo, shi := blockRange(n, p, sb)
+		rlo, rhi := blockRange(n, p, rb)
+		tmp := scratchLike(buf, rhi-rlo)
+		sreq := c.isendOn(sp, right, tagBase+s, buf.Slice(slo, shi))
+		c.recvOn(sp, left, tagBase+s, tmp)
+		keep := buf.Slice(rlo, rhi)
+		c.chargeReduceArith(sp, keep.Bytes())
+		combineInto(keep, tmp, op)
+		sreq.waitOn(sp)
+	}
+	for s := 0; s < p-1; s++ {
+		sb := ((c.rank+1-s)%p + p) % p
+		rb := ((c.rank-s)%p + p) % p
+		slo, shi := blockRange(n, p, sb)
+		rlo, rhi := blockRange(n, p, rb)
+		sreq := c.isendOn(sp, right, tagBase+p-1+s, buf.Slice(slo, shi))
+		c.recvOn(sp, left, tagBase+p-1+s, buf.Slice(rlo, rhi))
+		sreq.waitOn(sp)
+	}
+}
+
+// allreduceBruck: fold to a power of two, then log2(pof2) dissemination
+// rounds in which every rank sends its full accumulator to the rank 2^k
+// ahead and combines the accumulator arriving from 2^k behind — after round
+// k the accumulator covers the 2^(k+1) ranks ending at its own — then
+// unfold. Same round count as recursive doubling but with shifted (non-pair)
+// partners, the dissemination pattern Bruck's algorithms use.
+func (c *Comm) allreduceBruck(sp *sim.Proc, buf Buffer, op Op, tagBase int) {
+	p := c.Size()
+	newrank, pof2 := c.rsFold(sp, buf, op, tagBase)
+	if newrank >= 0 {
+		round := 1
+		for dist := 1; dist < pof2; dist <<= 1 {
+			dst := rsOldRank((newrank+dist)%pof2, p, pof2)
+			src := rsOldRank((newrank-dist+pof2)%pof2, p, pof2)
+			tmp := scratchLike(buf, buf.Len())
+			sreq := c.isendOn(sp, dst, tagBase+round, buf)
+			c.recvOn(sp, src, tagBase+round, tmp)
+			// The shifted partner means my receive completing says nothing
+			// about my send: wait for it before mutating the accumulator,
+			// or a rendezvous consumer would see post-combine values.
+			sreq.waitOn(sp)
+			c.chargeReduceArith(sp, buf.Bytes())
+			combineInto(buf, tmp, op)
+			round++
+		}
+	}
+	c.rsUnfold(sp, buf, pof2, tagBase+30)
+}
+
+// factorize returns p's prime factorization in ascending order (p >= 2).
+func factorize(p int) []int {
+	var fs []int
+	for f := 2; f*f <= p; f++ {
+		for p%f == 0 {
+			fs = append(fs, f)
+			p /= f
+		}
+	}
+	if p > 1 {
+		fs = append(fs, p)
+	}
+	return fs
+}
+
+// blocksOf lists the blocks of residue class c modulo m among p blocks, in
+// ascending order.
+func blocksOf(cls, m, p int) []int {
+	out := make([]int, 0, (p-cls+m-1)/m)
+	for b := cls; b < p; b += m {
+		out = append(out, b)
+	}
+	return out
+}
+
+// packBlocks concatenates the listed blocks of buf (ascending block order)
+// into one send payload.
+func packBlocks(buf Buffer, n, p int, ids []int) Buffer {
+	if len(ids) == 1 {
+		lo, hi := blockRange(n, p, ids[0])
+		return buf.Slice(lo, hi)
+	}
+	parts := make([]Buffer, len(ids))
+	maxElems := 0
+	for i, b := range ids {
+		lo, hi := blockRange(n, p, b)
+		parts[i] = buf.Slice(lo, hi)
+		if hi-lo > maxElems {
+			maxElems = hi - lo
+		}
+	}
+	return concatBuffers(parts, maxElems)
+}
+
+// allreduceShift is the mixed-radix shift schedule from the allreduce
+// generalization of Kolmakov & Zhang: write p = f1*f2*...*fm (prime
+// factors) and each rank in mixed radix. The reduce-scatter runs one phase
+// per factor; in the phase of stride s and radix f, the f ranks that differ
+// only in that digit directly exchange, over f-1 rounds, the blocks each
+// partner will own — block b goes to the partner whose residue matches
+// b mod (s*f) — shrinking each rank's owned set from {b = rank mod s} to
+// {b = rank mod s*f}. After all phases rank r owns exactly block r; the
+// allgather mirrors the phases in reverse. Total volume matches the ring
+// (2(p-1)/p per rank) but in sum_i(f_i - 1) rounds instead of 2(p-1), with
+// direct (shifted) partners instead of neighbors.
+func (c *Comm) allreduceShift(sp *sim.Proc, buf Buffer, op Op, tagBase int) {
+	p := c.Size()
+	n := buf.Len()
+	factors := factorize(p)
+	tag := tagBase
+
+	s := 1
+	for _, f := range factors {
+		d := (c.rank / s) % f
+		m := s * f
+		for r := 1; r < f; r++ {
+			sendPeer := c.rank + ((d+r)%f-d)*s
+			recvPeer := c.rank + ((d-r+f)%f-d)*s
+			sendIDs := blocksOf(sendPeer%m, m, p)
+			recvIDs := blocksOf(c.rank%m, m, p)
+			var recvElems int
+			for _, b := range recvIDs {
+				lo, hi := blockRange(n, p, b)
+				recvElems += hi - lo
+			}
+			tmp := scratchLike(buf, recvElems)
+			sreq := c.isendOn(sp, sendPeer, tag, packBlocks(buf, n, p, sendIDs))
+			c.recvOn(sp, recvPeer, tag, tmp)
+			off := 0
+			for _, b := range recvIDs {
+				lo, hi := blockRange(n, p, b)
+				keep := buf.Slice(lo, hi)
+				c.chargeReduceArith(sp, keep.Bytes())
+				combineInto(keep, tmp.Slice(off, off+hi-lo), op)
+				off += hi - lo
+			}
+			sreq.waitOn(sp)
+			tag++
+		}
+		s = m
+	}
+
+	for i := len(factors) - 1; i >= 0; i-- {
+		f := factors[i]
+		s /= f
+		d := (c.rank / s) % f
+		m := s * f
+		for r := 1; r < f; r++ {
+			sendPeer := c.rank + ((d+r)%f-d)*s
+			recvPeer := c.rank + ((d-r+f)%f-d)*s
+			ownIDs := blocksOf(c.rank%m, m, p)
+			theirIDs := blocksOf(recvPeer%m, m, p)
+			var recvElems int
+			for _, b := range theirIDs {
+				lo, hi := blockRange(n, p, b)
+				recvElems += hi - lo
+			}
+			tmp := scratchLike(buf, recvElems)
+			sreq := c.isendOn(sp, sendPeer, tag, packBlocks(buf, n, p, ownIDs))
+			c.recvOn(sp, recvPeer, tag, tmp)
+			off := 0
+			for _, b := range theirIDs {
+				lo, hi := blockRange(n, p, b)
+				buf.Slice(lo, hi).copyFrom(tmp.Slice(off, off+hi-lo))
+				off += hi - lo
+			}
+			sreq.waitOn(sp)
+			tag++
+		}
+	}
+}

@@ -72,11 +72,20 @@ func (c *Comm) bcastRun(sp *sim.Proc, root int, buf Buffer, tag int) {
 	if p == 1 {
 		return
 	}
-	if buf.Bytes() <= c.p.w.BcastLongMsg || p == 2 {
+	switch c.p.w.BcastAlg {
+	case AlgAuto:
+		if buf.Bytes() <= c.p.w.BcastLongMsg || p == 2 {
+			c.bcastBinomial(sp, root, buf, tag)
+			return
+		}
+		c.bcastScatterAllgather(sp, root, buf, tag)
+	case AlgBinomial:
 		c.bcastBinomial(sp, root, buf, tag)
-		return
+	case AlgScatterAllgather:
+		c.bcastScatterAllgather(sp, root, buf, tag)
+	default:
+		panic(fmt.Sprintf("mpi: unknown bcast algorithm %q", c.p.w.BcastAlg))
 	}
-	c.bcastScatterAllgather(sp, root, buf, tag)
 }
 
 // bcastBinomial is the classic binomial-tree broadcast: log2(p) rounds,
@@ -169,11 +178,20 @@ func (c *Comm) reduceRun(sp *sim.Proc, root int, sendBuf, recvBuf Buffer, op Op,
 		recvBuf.copyFrom(sendBuf)
 		return
 	}
-	if sendBuf.Bytes() <= c.p.w.ReduceLongMsg || p == 2 {
+	switch c.p.w.ReduceAlg {
+	case AlgAuto:
+		if sendBuf.Bytes() <= c.p.w.ReduceLongMsg || p == 2 {
+			c.reduceBinomial(sp, root, sendBuf, recvBuf, op, tag)
+			return
+		}
+		c.reduceRabenseifner(sp, root, sendBuf, recvBuf, op, tag)
+	case AlgBinomial:
 		c.reduceBinomial(sp, root, sendBuf, recvBuf, op, tag)
-		return
+	case AlgRabenseifner:
+		c.reduceRabenseifner(sp, root, sendBuf, recvBuf, op, tag)
+	default:
+		panic(fmt.Sprintf("mpi: unknown reduce algorithm %q", c.p.w.ReduceAlg))
 	}
-	c.reduceRabenseifner(sp, root, sendBuf, recvBuf, op, tag)
 }
 
 // reduceBinomial combines up a binomial tree rooted (virtually) at root:
@@ -336,11 +354,26 @@ func (c *Comm) allreduceRun(sp *sim.Proc, buf Buffer, op Op, tagBase int) {
 	if p == 1 {
 		return
 	}
-	if buf.Bytes() <= c.p.w.ReduceLongMsg {
+	switch c.p.w.AllreduceAlg {
+	case AlgAuto:
+		if buf.Bytes() <= c.p.w.ReduceLongMsg {
+			c.allreduceRecDoubling(sp, buf, op, tagBase)
+			return
+		}
+		c.allreduceRabenseifner(sp, buf, op, tagBase)
+	case AlgRecDouble:
 		c.allreduceRecDoubling(sp, buf, op, tagBase)
-		return
+	case AlgRabenseifner:
+		c.allreduceRabenseifner(sp, buf, op, tagBase)
+	case AlgRing:
+		c.allreduceRing(sp, buf, op, tagBase)
+	case AlgBruck:
+		c.allreduceBruck(sp, buf, op, tagBase)
+	case AlgShift:
+		c.allreduceShift(sp, buf, op, tagBase)
+	default:
+		panic(fmt.Sprintf("mpi: unknown allreduce algorithm %q", c.p.w.AllreduceAlg))
 	}
-	c.allreduceRabenseifner(sp, buf, op, tagBase)
 }
 
 // allreduceRecDoubling: fold to a power of two, exchange full buffers for

@@ -50,6 +50,16 @@ type World struct {
 	BcastLongMsg  int64
 	ReduceLongMsg int64
 
+	// BcastAlg, ReduceAlg and AllreduceAlg force one member of the
+	// collective-algorithm family for every call on this World, bypassing
+	// the switch points above. The zero value (AlgAuto) keeps the
+	// switch-point selection. See BcastAlgs/ReduceAlgs/AllreduceAlgs for
+	// the valid names; an unknown name panics at the first collective.
+	// Like the switch points, set them before Launch.
+	BcastAlg     string
+	ReduceAlg    string
+	AllreduceAlg string
+
 	// Probe, when non-nil, observes every protocol step of every message
 	// (post, in-order envelope admission, match) as a typed trace record.
 	// The schedule-exploration checker installs it to verify non-overtaking

@@ -63,6 +63,11 @@ type Config struct {
 	ReduceRate float64 // bytes/s a process combines during reductions
 	StageRate  float64 // bytes/s for staging/packing a nonblocking collective
 	NodeFlops  float64 // dense-GEMM flop/s of a whole node (all cores)
+
+	// Topo selects the fabric topology. The zero value is the flat fabric
+	// (every pair of nodes one wire hop apart, optionally through the shared
+	// core); see TopoSpec for the hierarchical and torus variants.
+	Topo TopoSpec
 }
 
 // DefaultConfig returns the Stampede2-like calibration used by the
@@ -103,7 +108,7 @@ func (c *Config) Validate() error {
 	case c.ReduceRate <= 0 || c.StageRate <= 0 || c.NodeFlops <= 0:
 		return fmt.Errorf("simnet: compute rates must be positive")
 	}
-	return nil
+	return c.Topo.validate(c.Nodes)
 }
 
 // FaultModel is the hook a perturbation layer (internal/faults) implements
@@ -142,8 +147,12 @@ type Net struct {
 	Faults FaultModel
 
 	nodes []*nodeRes
-	core  *sim.Resource // nil for a non-blocking fabric
-	nep   int           // endpoints created, for naming
+	topo  Topology
+	// routes caches Route answers per (src,dst) node pair: routes are pure
+	// functions of the pair, and caching keeps the per-transfer hot path
+	// allocation-free after warm-up.
+	routes map[int]cachedRoute
+	nep    int // endpoints created, for naming
 
 	// xferPool recycles the per-transfer state (chunk feed slices, the
 	// tx→rx signal) across transfers. The engine runs exactly one process
@@ -166,9 +175,8 @@ func New(eng *sim.Engine, cfg Config) (*Net, error) {
 		return nil, err
 	}
 	n := &Net{Eng: eng, Cfg: cfg}
-	if cfg.CoreBandwidth > 0 {
-		n.core = sim.NewResource("fabric.core")
-	}
+	n.topo = buildTopology(&n.Cfg)
+	n.routes = make(map[int]cachedRoute)
 	n.nodes = make([]*nodeRes, cfg.Nodes)
 	for i := range n.nodes {
 		n.nodes[i] = &nodeRes{
@@ -212,19 +220,64 @@ func (n *Net) NewEndpoint(node int) *Endpoint {
 	return ep
 }
 
-// EachResource visits every FIFO resource the fabric owns (core switch,
-// per-node egress/ingress wires and shared-memory buses). Endpoint CPU/NIC
-// resources belong to their creators and are not visited; the MPI layer's
+// EachResource visits every FIFO resource the fabric owns (topology links —
+// core switch, group uplinks/downlinks, torus rails — then per-node
+// egress/ingress wires and shared-memory buses). Endpoint CPU/NIC resources
+// belong to their creators and are not visited; the MPI layer's
 // World.EachResource covers those. Checkers use this to install audits.
 func (n *Net) EachResource(f func(*sim.Resource)) {
-	if n.core != nil {
-		f(n.core)
+	for _, l := range n.topo.Links() {
+		f(l.Res)
 	}
 	for _, nd := range n.nodes {
 		f(nd.egress)
 		f(nd.ingress)
 		f(nd.shm)
 	}
+}
+
+// Topology returns the fabric's topology.
+func (n *Net) Topology() Topology { return n.topo }
+
+// Links returns the topology's interior links in construction order, for
+// per-link-class utilization and byte accounting in benchmarks and tests.
+func (n *Net) Links() []*Link { return n.topo.Links() }
+
+// LinkUtilization reports the mean busy fraction of the topology's interior
+// links per link class over a window (empty map for a flat non-blocking
+// fabric, which has no interior links).
+func (n *Net) LinkUtilization(elapsed float64) map[string]float64 {
+	links := n.topo.Links()
+	if len(links) == 0 || elapsed <= 0 {
+		return nil
+	}
+	sum := make(map[string]float64)
+	cnt := make(map[string]int)
+	for _, l := range links {
+		sum[l.Class] += l.Res.BusyTime() / elapsed
+		cnt[l.Class]++
+	}
+	for c := range sum {
+		sum[c] /= float64(cnt[c])
+	}
+	return sum
+}
+
+// cachedRoute is one memoized Route answer.
+type cachedRoute struct {
+	links []*Link
+	lat   float64
+}
+
+// routeOf memoizes the topology's route for an inter-node pair.
+func (n *Net) routeOf(src, dst int) cachedRoute {
+	key := src*n.Cfg.Nodes + dst
+	r, ok := n.routes[key]
+	if !ok {
+		r.links, r.lat = n.topo.Route(src, dst)
+		n.routes[key] = r
+	}
+	return r
 }
 
 // EachWire visits each node's egress and ingress wire resources with the
@@ -445,13 +498,19 @@ func (n *Net) runTransferTx(p *sim.Proc, src, dst *Endpoint, size int64, cpuRate
 	injected.Fire()
 }
 
-// runTransferRx drives the receiver side: per chunk, an ingress-wire
-// occupancy starting when the chunk clears the sender's egress (plus wire
-// latency) and a receiver-CPU stage (matching/copy) reserved exactly at the
-// chunk's arrival. delivered fires when the last chunk's CPU stage ends.
+// runTransferRx drives the receiver side: per chunk, the route's interior
+// links (uplink/core/downlink or torus rails, in route order) then an
+// ingress-wire occupancy starting when the chunk clears the sender's egress
+// (plus the route's leading-edge latency), and a receiver-CPU stage
+// (matching/copy) reserved exactly at the chunk's arrival. delivered fires
+// when the last chunk's CPU stage ends.
 func (n *Net) runTransferRx(p *sim.Proc, src, dst *Endpoint, cpuRate float64, feed *chunkFeed, delivered *sim.Gate) {
 	cfg := &n.Cfg
 	intra := src.Node == dst.Node
+	var rt cachedRoute
+	if !intra {
+		rt = n.routeOf(src.Node, dst.Node)
+	}
 	var lastDeliver float64
 	for k := 0; ; k++ {
 		for len(feed.ready) <= k {
@@ -469,8 +528,12 @@ func (n *Net) runTransferRx(p *sim.Proc, src, dst *Endpoint, cpuRate float64, fe
 		var arrive float64
 		if intra {
 			arrive = t + cfg.ShmLatency
+			if arrive > p.Now() {
+				p.SleepUntil(arrive)
+			}
+			arrive = p.Now()
 		} else {
-			lat := cfg.WireLatency
+			lat := rt.lat
 			if n.Faults != nil {
 				// Per-chunk latency jitter from the fault model (0 when
 				// the injector has jitter disabled).
@@ -479,19 +542,31 @@ func (n *Net) runTransferRx(p *sim.Proc, src, dst *Endpoint, cpuRate float64, fe
 			if t+lat > p.Now() {
 				p.SleepUntil(t + lat)
 			}
-			if n.core != nil {
-				_, coreDone := n.core.Reserve(p.Now(), cb/cfg.CoreBandwidth)
-				if coreDone > p.Now() {
-					p.SleepUntil(coreDone)
+			// The chunk crosses the route's interior links and then the
+			// receiver's ingress wire store-and-forward. The process paces
+			// on the first stage and books the downstream stages with
+			// chained ready times — the same one-chunk lookahead the
+			// sender's NIC chain uses — so chunks of one transfer pipeline
+			// across the stages while concurrent transfers still interleave
+			// chunk by chunk on shared links.
+			next := p.Now()
+			for i, l := range rt.links {
+				_, next = l.Res.Reserve(next, cb/l.Bandwidth)
+				if i == 0 && next > p.Now() {
+					p.SleepUntil(next)
 				}
+				l.bytes += feed.bytes[k]
+				n.Metrics.Add("net.link.bytes", l.Res.Name, cb)
 			}
-			_, inDone := n.nodes[dst.Node].ingress.Reserve(p.Now(), cb/cfg.WireBandwidth)
+			_, inDone := n.nodes[dst.Node].ingress.Reserve(next, cb/cfg.WireBandwidth)
+			if len(rt.links) == 0 && inDone > p.Now() {
+				// Flat route: the ingress wire is the first stage; pacing on
+				// it preserves the original fabric's schedule exactly.
+				p.SleepUntil(inDone)
+			}
 			arrive = inDone
 		}
-		if arrive > p.Now() {
-			p.SleepUntil(arrive)
-		}
-		_, recvDone := dst.NIC.Reserve(p.Now(), cfg.RecvOverhead+cb/cpuRate)
+		_, recvDone := dst.NIC.Reserve(arrive, cfg.RecvOverhead+cb/cpuRate)
 		n.Metrics.AddGauge("net.chunks.inflight", "", -1)
 		lastDeliver = recvDone
 	}

@@ -49,7 +49,7 @@ func (t *Table) KernelConfig(base core.Config, p, nodes int) (TunedConfig, error
 	var dominant *Entry
 	for _, ph := range core.Phases {
 		op, bytes := phaseShape(ph, base.N, p)
-		e := t.Nearest(op, bytes, nodes)
+		e := t.Nearest(op, bytes, nodes, "")
 		if e == nil {
 			return out, fmt.Errorf("tune: table has no %q entry for phase %s", op, ph)
 		}

@@ -114,10 +114,19 @@ func (t *Table) Lookup(k Kernel) *Entry {
 	return nil
 }
 
-// Nearest returns the entry whose kernel most resembles (op, bytes, nodes):
-// same operation, then smallest distance in log₂(bytes) with a node-count
-// mismatch weighted in. Returns nil if no entry has the operation.
-func (t *Table) Nearest(op string, bytes int64, nodes int) *Entry {
+// topoMismatchPenalty is what a wrong-topology entry costs in Nearest's
+// log₂ distance: eight binary orders of magnitude in payload or node count.
+// Winners genuinely differ across fabrics, so a same-topology entry of a
+// fairly different shape still beats a wrong-topology entry of the exact
+// shape, but a table with no entry for the requested fabric still resolves.
+const topoMismatchPenalty = 8.0
+
+// Nearest returns the entry whose kernel most resembles (op, bytes, nodes,
+// topo): same operation, then smallest distance in log₂(bytes) with
+// node-count and topology mismatches weighted in. Ties break to the earlier
+// entry (strict < below), so table order is the canonical tie-break. Returns
+// nil if no entry has the operation.
+func (t *Table) Nearest(op string, bytes int64, nodes int, topo string) *Entry {
 	var best *Entry
 	bestDist := math.Inf(1)
 	for i := range t.Entries {
@@ -127,6 +136,9 @@ func (t *Table) Nearest(op string, bytes int64, nodes int) *Entry {
 		}
 		d := math.Abs(math.Log2(float64(e.Kernel.Bytes))-math.Log2(float64(bytes))) +
 			math.Abs(math.Log2(float64(e.Kernel.Nodes))-math.Log2(float64(nodes)))
+		if e.Kernel.Topo != topo {
+			d += topoMismatchPenalty
+		}
 		if d < bestDist {
 			bestDist, best = d, e
 		}
@@ -136,7 +148,7 @@ func (t *Table) Nearest(op string, bytes int64, nodes int) *Entry {
 
 // WriteCSV emits every cell as one CSV row.
 func (t *Table) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "kernel,op,bytes,nodes,ndup,ppn,bcast_long_msg,reduce_long_msg,chunk_bytes,eager_limit,bw_mbs,best"); err != nil {
+	if _, err := fmt.Fprintln(w, "kernel,op,bytes,nodes,topo,ndup,ppn,alg,bcast_long_msg,reduce_long_msg,chunk_bytes,eager_limit,bw_mbs,best"); err != nil {
 		return err
 	}
 	for _, e := range t.Entries {
@@ -145,9 +157,17 @@ func (t *Table) WriteCSV(w io.Writer) error {
 			if c.Params == e.Best {
 				best = 1
 			}
-			if _, err := fmt.Fprintf(w, "%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%d\n",
-				e.Kernel.Name(), e.Kernel.Op, e.Kernel.Bytes, e.Kernel.Nodes,
-				c.Params.NDup, c.Params.PPN, c.Params.BcastLongMsg, c.Params.ReduceLongMsg,
+			topo := e.Kernel.Topo
+			if topo == "" {
+				topo = "flat"
+			}
+			alg := c.Params.Alg
+			if alg == "" {
+				alg = "auto"
+			}
+			if _, err := fmt.Fprintf(w, "%s,%s,%d,%d,%s,%d,%d,%s,%d,%d,%d,%d,%.3f,%d\n",
+				e.Kernel.Name(), e.Kernel.Op, e.Kernel.Bytes, e.Kernel.Nodes, topo,
+				c.Params.NDup, c.Params.PPN, alg, c.Params.BcastLongMsg, c.Params.ReduceLongMsg,
 				c.Params.ChunkBytes, c.Params.EagerLimit, c.BW/1e6, best); err != nil {
 				return err
 			}

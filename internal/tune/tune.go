@@ -26,27 +26,39 @@ import (
 )
 
 // Kernel describes one communication kernel to tune: a collective operation
-// of a total payload across a node count.
+// of a total payload across a node count, on a named fabric topology.
 type Kernel struct {
-	Op    string `json:"op"`    // "bcast" or "reduce"
+	Op    string `json:"op"`    // "bcast", "reduce" or "allreduce"
 	Bytes int64  `json:"bytes"` // total collective payload in bytes
 	Nodes int    `json:"nodes"` // participating nodes
+	// Topo names the fabric the kernel runs on (simnet.TopoByName); empty is
+	// the flat fabric. Winners are learned per topology: the same collective
+	// tunes differently on a hierarchical fabric than on a flat one.
+	Topo string `json:"topo,omitempty"`
 }
 
-// Name returns the kernel's stable identifier, e.g. "reduce-16MiB-4n".
+// Name returns the kernel's stable identifier, e.g. "reduce-16MiB-4n" or
+// "allreduce-4MiB-8n@hier".
 func (k Kernel) Name() string {
-	return fmt.Sprintf("%s-%s-%dn", k.Op, sizeLabel(k.Bytes), k.Nodes)
+	name := fmt.Sprintf("%s-%s-%dn", k.Op, sizeLabel(k.Bytes), k.Nodes)
+	if k.Topo != "" {
+		name += "@" + k.Topo
+	}
+	return name
 }
 
 func (k Kernel) validate() error {
-	if k.Op != "bcast" && k.Op != "reduce" {
-		return fmt.Errorf("tune: kernel op %q (want bcast or reduce)", k.Op)
+	if k.Op != "bcast" && k.Op != "reduce" && k.Op != "allreduce" {
+		return fmt.Errorf("tune: kernel op %q (want bcast, reduce or allreduce)", k.Op)
 	}
 	if k.Bytes <= 0 {
 		return fmt.Errorf("tune: kernel bytes %d", k.Bytes)
 	}
 	if k.Nodes <= 1 {
 		return fmt.Errorf("tune: kernel nodes %d", k.Nodes)
+	}
+	if _, err := simnet.TopoByName(k.Topo, k.Nodes); err != nil {
+		return fmt.Errorf("tune: kernel topo: %w", err)
 	}
 	return nil
 }
@@ -79,6 +91,9 @@ type Params struct {
 	// ChunkBytes and EagerLimit override the fabric protocol.
 	ChunkBytes int64 `json:"chunk_bytes,omitempty"`
 	EagerLimit int64 `json:"eager_limit,omitempty"`
+	// Alg forces one member of the kernel operation's collective-algorithm
+	// family (mpi.AlgRing, ...); empty keeps switch-point auto selection.
+	Alg string `json:"alg,omitempty"`
 }
 
 func (p Params) validate() error {
@@ -91,8 +106,8 @@ func (p Params) validate() error {
 // label is the canonical cell key used for hashing, warm-start matching and
 // CSV output.
 func (p Params) label() string {
-	return fmt.Sprintf("ndup=%d,ppn=%d,bcastlong=%d,reducelong=%d,chunk=%d,eager=%d",
-		p.NDup, p.PPN, p.BcastLongMsg, p.ReduceLongMsg, p.ChunkBytes, p.EagerLimit)
+	return fmt.Sprintf("ndup=%d,ppn=%d,bcastlong=%d,reducelong=%d,chunk=%d,eager=%d,alg=%s",
+		p.NDup, p.PPN, p.BcastLongMsg, p.ReduceLongMsg, p.ChunkBytes, p.EagerLimit, p.Alg)
 }
 
 // Grid is the parameter grid a search sweeps: the cross product of NDups,
@@ -110,6 +125,11 @@ type Grid struct {
 	// Protocols are the protocol-knob variants to cross with every
 	// (NDup, PPN); only the knob fields of each entry are read.
 	Protocols []Params `json:"protocols"`
+	// Algs are the collective algorithms to cross in (empty string = auto
+	// switch-point selection). Nil means auto only. Entries that are not in
+	// the kernel operation's family are skipped for that kernel, so one list
+	// can mix bcast, reduce and allreduce algorithms.
+	Algs []string `json:"algs,omitempty"`
 }
 
 // QuickGrid is the coarse grid behind `overlapbench tune -quick` and the CI
@@ -117,10 +137,13 @@ type Grid struct {
 func QuickGrid() Grid {
 	return Grid{
 		Name:      "quick",
-		NDups:     []int{1, 2, 4},
+		NDups:     []int{1, 2, 4, 8},
 		PPNs:      []int{1, 2, 4},
 		LaunchPPN: 4,
 		Protocols: []Params{{}},
+		// Auto plus the two allreduce schedules whose winner flips between
+		// flat and hierarchical fabrics; bcast/reduce kernels sweep auto only.
+		Algs: []string{mpi.AlgAuto, mpi.AlgRing, mpi.AlgShift},
 	}
 }
 
@@ -141,6 +164,8 @@ func FullGrid() Grid {
 			{ChunkBytes: 1 << 20},    // coarser pipeline
 			{EagerLimit: 1},          // rendezvous everything
 		},
+		Algs: append([]string{mpi.AlgAuto},
+			append(mpi.BcastAlgs(), append(mpi.ReduceAlgs(), mpi.AllreduceAlgs()...)...)...),
 	}
 }
 
@@ -160,26 +185,81 @@ func (g Grid) validate() error {
 }
 
 // cellsFor returns the grid's parameter cells for one kernel, in canonical
-// order. Protocol variants that only move the other operation's switch
-// point are skipped — they cannot change this kernel's schedule.
+// order (algorithm, then protocol, then NDup, then PPN). Variants that
+// cannot change the kernel's schedule are skipped: algorithms outside the
+// operation's family, protocol variants that only move the other operation's
+// switch point, and any switch-point-only variant when the algorithm is
+// forced (a forced algorithm never consults the switch points).
 func (g Grid) cellsFor(k Kernel) []Params {
 	var out []Params
-	for _, proto := range g.Protocols {
-		if k.Op == "bcast" && proto.ReduceLongMsg != 0 && onlySwitchKnob(proto) {
-			continue
-		}
-		if k.Op == "reduce" && proto.BcastLongMsg != 0 && onlySwitchKnob(proto) {
-			continue
-		}
-		for _, ndup := range g.NDups {
-			for _, ppn := range g.PPNs {
-				p := proto
-				p.NDup, p.PPN = ndup, ppn
-				out = append(out, p)
+	for _, alg := range g.algsFor(k.Op) {
+		for _, proto := range g.Protocols {
+			if skipProto(k.Op, alg, proto) {
+				continue
+			}
+			for _, ndup := range g.NDups {
+				for _, ppn := range g.PPNs {
+					p := proto
+					p.NDup, p.PPN, p.Alg = ndup, ppn, alg
+					out = append(out, p)
+				}
 			}
 		}
 	}
 	return out
+}
+
+// algsFor filters the grid's algorithm list down to the members applicable
+// to one operation (auto always applies), deduplicated in list order. A nil
+// list means auto only.
+func (g Grid) algsFor(op string) []string {
+	if len(g.Algs) == 0 {
+		return []string{mpi.AlgAuto}
+	}
+	var fam []string
+	switch op {
+	case "bcast":
+		fam = mpi.BcastAlgs()
+	case "reduce":
+		fam = mpi.ReduceAlgs()
+	default:
+		fam = mpi.AllreduceAlgs()
+	}
+	inFamily := func(alg string) bool {
+		for _, a := range fam {
+			if a == alg {
+				return true
+			}
+		}
+		return false
+	}
+	var out []string
+	seen := make(map[string]bool)
+	for _, alg := range g.Algs {
+		if seen[alg] || (alg != mpi.AlgAuto && !inFamily(alg)) {
+			continue
+		}
+		seen[alg] = true
+		out = append(out, alg)
+	}
+	return out
+}
+
+// skipProto reports whether a protocol variant cannot change the kernel's
+// schedule: a switch-point-only variant is dead weight when the algorithm is
+// forced, and otherwise only the kernel operation's own switch point matters
+// (allreduce selects on the reduce switch point).
+func skipProto(op, alg string, proto Params) bool {
+	if !onlySwitchKnob(proto) || (proto.BcastLongMsg == 0 && proto.ReduceLongMsg == 0) {
+		return false
+	}
+	if alg != mpi.AlgAuto {
+		return true
+	}
+	if op == "bcast" {
+		return proto.BcastLongMsg == 0
+	}
+	return proto.ReduceLongMsg == 0
 }
 
 // onlySwitchKnob reports whether the variant touches nothing but the
@@ -189,14 +269,18 @@ func onlySwitchKnob(p Params) bool {
 }
 
 // DefaultKernels is the kernel set the paper's evaluation exercises: the
-// Fig. 5 micro-benchmark regimes (large and small payloads on 4 nodes) and
-// the 64-node paper-scale reduction.
+// Fig. 5 micro-benchmark regimes (large and small payloads on 4 nodes), the
+// 64-node paper-scale reduction, and the topology pair — the same allreduce
+// on the flat and hierarchical fabrics, whose winners the table learns
+// separately.
 func DefaultKernels() []Kernel {
 	return []Kernel{
 		{Op: "reduce", Bytes: 16 << 20, Nodes: 4},
 		{Op: "bcast", Bytes: 16 << 20, Nodes: 4},
 		{Op: "reduce", Bytes: 64 << 10, Nodes: 4},
 		{Op: "reduce", Bytes: 16 << 20, Nodes: 64},
+		{Op: "allreduce", Bytes: 4 << 20, Nodes: 8},
+		{Op: "allreduce", Bytes: 4 << 20, Nodes: 8, Topo: "hier"},
 	}
 }
 
@@ -217,6 +301,11 @@ func Measure(k Kernel, p Params, launchPPN int) (float64, error) {
 		return 0, fmt.Errorf("tune: PPN %d exceeds launch PPN %d", p.PPN, launchPPN)
 	}
 	cfg := simnet.DefaultConfig(k.Nodes)
+	topo, err := simnet.TopoByName(k.Topo, k.Nodes)
+	if err != nil {
+		return 0, err
+	}
+	cfg.Topo = topo
 	if p.ChunkBytes != 0 {
 		cfg.ChunkBytes = p.ChunkBytes
 	}
@@ -238,6 +327,14 @@ func Measure(k Kernel, p Params, launchPPN int) (float64, error) {
 	}
 	if p.ReduceLongMsg != 0 {
 		w.ReduceLongMsg = p.ReduceLongMsg
+	}
+	switch k.Op {
+	case "bcast":
+		w.BcastAlg = p.Alg
+	case "reduce":
+		w.ReduceAlg = p.Alg
+	case "allreduce":
+		w.AllreduceAlg = p.Alg
 	}
 	var elapsed float64
 	w.Launch(func(pr *mpi.Proc) {
@@ -263,9 +360,12 @@ func Measure(k Kernel, p Params, launchPPN int) (float64, error) {
 			reqs := make([]*mpi.Request, p.NDup)
 			for d := 0; d < p.NDup; d++ {
 				b := mpi.Phantom(share)
-				if k.Op == "bcast" {
+				switch k.Op {
+				case "bcast":
 					reqs[d] = comms[d].Ibcast(0, b)
-				} else {
+				case "allreduce":
+					reqs[d] = comms[d].Iallreduce(b, mpi.OpSum)
+				default:
 					reqs[d] = comms[d].Ireduce(0, b, b, mpi.OpSum)
 				}
 			}
@@ -290,9 +390,10 @@ func Measure(k Kernel, p Params, launchPPN int) (float64, error) {
 // simulator is exact arithmetic over a deterministic schedule.
 func cellHash(k Kernel, p Params, launchPPN int) string {
 	cfg := simnet.DefaultConfig(k.Nodes)
+	cfg.Topo, _ = simnet.TopoByName(k.Topo, k.Nodes) // validated by the caller
 	h := fnv.New64a()
-	fmt.Fprintf(h, "v%d|%+v|%s/%d/%d|%s|launch=%d",
-		TableVersion, cfg, k.Op, k.Bytes, k.Nodes, p.label(), launchPPN)
+	fmt.Fprintf(h, "v%d|%+v|%s/%d/%d/%s|%s|launch=%d",
+		TableVersion, cfg, k.Op, k.Bytes, k.Nodes, k.Topo, p.label(), launchPPN)
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 

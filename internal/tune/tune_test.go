@@ -9,7 +9,8 @@ import (
 )
 
 // testGrid is a small grid that keeps the test sweep fast while still
-// crossing every axis kind (NDup, PPN with parking, a protocol variant).
+// crossing every axis kind (NDup, PPN with parking, a protocol variant, a
+// forced algorithm).
 func testGrid() Grid {
 	return Grid{
 		Name:      "test",
@@ -17,6 +18,7 @@ func testGrid() Grid {
 		PPNs:      []int{1, 2},
 		LaunchPPN: 2,
 		Protocols: []Params{{}, {ChunkBytes: 64 << 10}},
+		Algs:      []string{"", "ring"},
 	}
 }
 
@@ -24,6 +26,7 @@ func testKernels() []Kernel {
 	return []Kernel{
 		{Op: "reduce", Bytes: 1 << 20, Nodes: 4},
 		{Op: "bcast", Bytes: 256 << 10, Nodes: 4},
+		{Op: "allreduce", Bytes: 512 << 10, Nodes: 4, Topo: "hier"},
 	}
 }
 
@@ -54,8 +57,14 @@ func TestSearchDeterministicAcrossWorkers(t *testing.T) {
 		if e.BestBW <= 0 {
 			t.Errorf("%s: non-positive best bandwidth", e.Kernel.Name())
 		}
-		if len(e.Cells) != 8 {
-			t.Errorf("%s: %d cells, want 8 (2 ndup x 2 ppn x 2 protocols)", e.Kernel.Name(), len(e.Cells))
+		// 2 ndup x 2 ppn x 2 protocols; ring applies only to the allreduce
+		// kernel, doubling its sweep.
+		want := 8
+		if e.Kernel.Op == "allreduce" {
+			want = 16
+		}
+		if len(e.Cells) != want {
+			t.Errorf("%s: %d cells, want %d", e.Kernel.Name(), len(e.Cells), want)
 		}
 	}
 }
@@ -144,10 +153,10 @@ func TestTableRoundTripAndLookup(t *testing.T) {
 		t.Error("Lookup of untuned kernel returned an entry")
 	}
 	// Nearest: a reduce close to 1 MiB resolves to the 1 MiB entry.
-	if e := back.Nearest("reduce", 2<<20, 4); e == nil || e.Kernel != k {
+	if e := back.Nearest("reduce", 2<<20, 4, ""); e == nil || e.Kernel != k {
 		t.Errorf("Nearest(reduce, 2MiB) = %+v", e)
 	}
-	if e := back.Nearest("gather", 1, 1); e != nil {
+	if e := back.Nearest("gather", 1, 1, ""); e != nil {
 		t.Error("Nearest for unknown op returned an entry")
 	}
 
@@ -155,7 +164,7 @@ func TestTableRoundTripAndLookup(t *testing.T) {
 	if err := back.WriteCSV(&csv); err != nil {
 		t.Fatal(err)
 	}
-	if csv.Len() == 0 || bytes.Count(csv.Bytes(), []byte("\n")) != 1+2*8 {
+	if csv.Len() == 0 || bytes.Count(csv.Bytes(), []byte("\n")) != 1+8+8+16 {
 		t.Errorf("CSV has %d lines", bytes.Count(csv.Bytes(), []byte("\n")))
 	}
 }
@@ -197,17 +206,23 @@ func TestKernelConfig(t *testing.T) {
 }
 
 // TestGridCellFiltering: protocol variants that only move the other
-// operation's switch point are dropped from a kernel's sweep.
+// operation's switch point are dropped from a kernel's sweep, and forced
+// algorithms additionally drop both switch-point variants. With FullGrid's
+// 6 protocols that leaves 5 for auto and 4 per forced algorithm: bcast and
+// reduce each have 2 forced algorithms (5+2*4), allreduce has 5 (5+5*4).
 func TestGridCellFiltering(t *testing.T) {
 	g := FullGrid()
 	nProto := func(k Kernel) int {
 		return len(g.cellsFor(k)) / (len(g.NDups) * len(g.PPNs))
 	}
-	if got := nProto(Kernel{Op: "reduce", Bytes: 1 << 20, Nodes: 4}); got != len(g.Protocols)-1 {
-		t.Errorf("reduce kernel sweeps %d protocol variants, want %d", got, len(g.Protocols)-1)
+	if got := nProto(Kernel{Op: "reduce", Bytes: 1 << 20, Nodes: 4}); got != 13 {
+		t.Errorf("reduce kernel sweeps %d protocol variants, want 13", got)
 	}
-	if got := nProto(Kernel{Op: "bcast", Bytes: 1 << 20, Nodes: 4}); got != len(g.Protocols)-1 {
-		t.Errorf("bcast kernel sweeps %d protocol variants, want %d", got, len(g.Protocols)-1)
+	if got := nProto(Kernel{Op: "bcast", Bytes: 1 << 20, Nodes: 4}); got != 13 {
+		t.Errorf("bcast kernel sweeps %d protocol variants, want 13", got)
+	}
+	if got := nProto(Kernel{Op: "allreduce", Bytes: 1 << 20, Nodes: 4}); got != 25 {
+		t.Errorf("allreduce kernel sweeps %d protocol variants, want 25", got)
 	}
 	if err := (Grid{Name: "bad", NDups: []int{1}, PPNs: []int{4}, LaunchPPN: 2, Protocols: []Params{{}}}).validate(); err == nil {
 		t.Error("grid with PPN above launch width validated")
