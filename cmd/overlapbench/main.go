@@ -6,7 +6,7 @@
 //	overlapbench [-n dim] [-csv dir] [-trace file] [-metrics] [-noise] [experiment ...]
 //	overlapbench -validate-trace file
 //	overlapbench tune [-quick] [-table file] [-cells-csv file] [-cold]
-//	overlapbench bench-diff [-threshold pct] [-fail-on-regression] base.json current.json
+//	overlapbench bench-diff [-threshold pct] [-alloc-threshold pct] [-fail-on-regression] [-require-env-match] base.json current.json
 //
 // Experiments: fig3, fig4, fig5, fig6, table1, table2, table3, table4,
 // table5 (the paper's artifacts), plus the extensions solver
@@ -27,8 +27,11 @@
 // internal/tune): a deterministic parallel search over the overlap
 // parameter space, warm-started from the existing table when its cells'
 // provenance hashes still match. -quick sweeps the coarse CI grid instead
-// of the full one. bench-diff compares two bench-host artifacts; -threshold
-// and -fail-on-regression turn it into a gate. -n overrides the
+// of the full one. bench-diff compares two bench-host artifacts; -threshold,
+// -alloc-threshold and -fail-on-regression turn it into a gate whose timing
+// half arms only when both artifacts share an environment (cores, workers,
+// toolchain — otherwise it reports "env-mismatch: report-only", or errors
+// under -require-env-match). -n overrides the
 // matrix dimension for the kernel tables (default: the paper's 1hsg_70,
 // N = 7645). -csv also writes each experiment's data as <dir>/<id>.csv.
 //
@@ -48,6 +51,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"commoverlap/internal/bench"
@@ -380,18 +384,26 @@ func runBenchHost(outPath string) error {
 // runBenchDiff compares two bench-host artifacts (base then current). By
 // default it is report-only — wall-clock numbers are hardware-dependent —
 // but -threshold sets the slowdown percentage beyond which a timing is
-// flagged, and -fail-on-regression turns flagged timings into a non-zero
-// exit.
+// flagged and -fail-on-regression turns flagged regressions into a
+// non-zero exit. The timing gate only fires when both artifacts come from
+// the same environment (cores, workers, toolchain); on a mismatch the diff
+// prints an explicit "env-mismatch: report-only" banner instead of
+// pretending the hardware delta is a code regression (-require-env-match
+// turns the mismatch itself into an error). The allocation gate
+// (-alloc-threshold) stays active across hardware changes: allocs/op
+// depends on the code and toolchain, not the core count.
 func runBenchDiff(args []string) error {
 	fs := flag.NewFlagSet("bench-diff", flag.ContinueOnError)
 	threshold := fs.Float64("threshold", 10, "flag timings that slowed down by more than this percentage")
-	failOn := fs.Bool("fail-on-regression", false, "exit non-zero when any timing regressed beyond -threshold")
+	allocThreshold := fs.Float64("alloc-threshold", 10, "flag micro benches whose allocs/op grew by more than this percentage")
+	failOn := fs.Bool("fail-on-regression", false, "exit non-zero when any active gate flagged a regression")
+	requireEnv := fs.Bool("require-env-match", false, "exit non-zero when the artifacts' cores/workers/toolchain differ")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	paths := fs.Args()
 	if len(paths) != 2 {
-		return fmt.Errorf("usage: overlapbench bench-diff [-threshold pct] [-fail-on-regression] <base.json> <current.json>")
+		return fmt.Errorf("usage: overlapbench bench-diff [-threshold pct] [-alloc-threshold pct] [-fail-on-regression] [-require-env-match] <base.json> <current.json>")
 	}
 	var reps [2]bench.HostReport
 	for i, p := range paths {
@@ -407,9 +419,20 @@ func runBenchDiff(args []string) error {
 			return fmt.Errorf("%s: %w", p, err)
 		}
 	}
-	regressions := bench.DiffHostReports(os.Stdout, reps[0], reps[1], *threshold)
-	if *failOn && regressions > 0 {
-		return fmt.Errorf("%d timing(s) regressed more than %.1f%%", regressions, *threshold)
+	res := bench.DiffHostReports(os.Stdout, reps[0], reps[1], bench.DiffOptions{
+		TimingThresholdPct: *threshold,
+		AllocThresholdPct:  *allocThreshold,
+	})
+	if *requireEnv && len(res.EnvMismatches) > 0 {
+		return fmt.Errorf("environment mismatch: %s", strings.Join(res.EnvMismatches, "; "))
+	}
+	if *failOn {
+		if res.TimingGateActive && res.TimingRegressions > 0 {
+			return fmt.Errorf("%d timing(s) regressed more than %.1f%%", res.TimingRegressions, *threshold)
+		}
+		if res.AllocGateActive && res.AllocRegressions > 0 {
+			return fmt.Errorf("%d micro bench(es) grew allocs/op more than %.1f%%", res.AllocRegressions, *allocThreshold)
+		}
 	}
 	return nil
 }

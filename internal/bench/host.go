@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -103,6 +104,16 @@ var hostMicro = []struct {
 		}
 	}},
 	{"mpi/allreduce-64rank-1MB", func(b *testing.B) {
+		// Steady state: all b.N allreduces share one world, so the number
+		// reflects the pooled hot path (requests, envelopes, gates, scratch
+		// recycled), not world construction. The -cold variant below tracks
+		// the spin-up cost separately.
+		b.ReportAllocs()
+		steadyJob(b, 16, 64, func(p *mpi.Proc, _ int) {
+			p.World().Allreduce(mpi.Phantom(1<<20), mpi.OpSum)
+		})
+	}},
+	{"mpi/allreduce-64rank-1MB-cold", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if err := job(16, 64, nil, func(p *mpi.Proc) {
@@ -114,22 +125,18 @@ var hostMicro = []struct {
 	}},
 	{"simnet/p2p-stream-100msg", func(b *testing.B) {
 		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if err := job(2, 2, nil, func(p *mpi.Proc) {
-				c := p.World()
-				if p.Rank() == 0 {
-					for m := 0; m < 100; m++ {
-						c.Send(1, m, mpi.Phantom(4096))
-					}
-				} else {
-					for m := 0; m < 100; m++ {
-						c.Recv(0, m, mpi.Phantom(4096))
-					}
+		steadyJob(b, 2, 2, func(p *mpi.Proc, i int) {
+			c := p.World()
+			if p.Rank() == 0 {
+				for m := 0; m < 100; m++ {
+					c.Send(1, i*100+m, mpi.Phantom(4096))
 				}
-			}); err != nil {
-				b.Fatal(err)
+			} else {
+				for m := 0; m < 100; m++ {
+					c.Recv(0, i*100+m, mpi.Phantom(4096))
+				}
 			}
-		}
+		})
 	}},
 	{"simnet/transfer-16MB-chunked", func(b *testing.B) {
 		b.ReportAllocs()
@@ -147,6 +154,32 @@ var hostMicro = []struct {
 			}
 		}
 	}},
+}
+
+// steadyJob runs b.N iterations of body inside ONE simulated world and
+// resets the benchmark clock after construction, so the measured ns/op and
+// allocs/op are the steady-state per-operation cost with every freelist
+// warm.
+func steadyJob(b *testing.B, nodes, ranks int, body func(p *mpi.Proc, i int)) {
+	b.Helper()
+	eng := sim.NewEngine()
+	net, err := simnet.New(eng, simnet.DefaultConfig(nodes))
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := mpi.NewWorld(net, ranks, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w.Launch(func(p *mpi.Proc) {
+		for i := 0; i < b.N; i++ {
+			body(p, i)
+		}
+	})
+	b.ResetTimer()
+	if err := eng.Run(); err != nil {
+		b.Fatal(err)
+	}
 }
 
 // HostBench measures the simulator's host performance: the micro benchmarks
@@ -216,24 +249,107 @@ func ReadHostReport(r io.Reader) (HostReport, error) {
 	return rep, err
 }
 
+// EnvMismatch lists the environment fields on which two artifacts differ,
+// as "field: base vs current" strings. Timing comparisons between
+// mismatched environments are meaningless — a 1-core runner comparing
+// itself against an 8-core baseline reports a 'regression' that is really
+// the hardware — so DiffHostReports downgrades the timing gate to
+// report-only whenever this list is non-empty.
+func EnvMismatch(base, cur HostReport) []string {
+	var m []string
+	add := func(field string, b, c any) {
+		if b != c {
+			m = append(m, fmt.Sprintf("%s: %v vs %v", field, b, c))
+		}
+	}
+	add("go_version", base.GoVersion, cur.GoVersion)
+	add("goos", base.GOOS, cur.GOOS)
+	add("goarch", base.GOARCH, cur.GOARCH)
+	add("cores", base.Cores, cur.Cores)
+	add("workers", base.Workers, cur.Workers)
+	return m
+}
+
+// toolchainMismatch reports whether the artifacts came from different
+// toolchains (Go version, OS, architecture). Allocation counts are
+// hardware-independent but not toolchain-independent, so the alloc gate
+// follows this narrower test rather than full EnvMismatch.
+func toolchainMismatch(base, cur HostReport) bool {
+	return base.GoVersion != cur.GoVersion || base.GOOS != cur.GOOS || base.GOARCH != cur.GOARCH
+}
+
+// DiffOptions configures DiffHostReports gating.
+type DiffOptions struct {
+	// TimingThresholdPct flags timings that slowed down by more than this
+	// percentage.
+	TimingThresholdPct float64
+	// AllocThresholdPct flags micro benchmarks whose allocs/op grew by
+	// more than this percentage (any growth from a zero base is flagged).
+	AllocThresholdPct float64
+}
+
+// DiffResult is what DiffHostReports found and which gates are valid.
+type DiffResult struct {
+	// TimingRegressions counts timings beyond TimingThresholdPct. Only
+	// meaningful for gating when TimingGateActive.
+	TimingRegressions int
+	// AllocRegressions counts micro benchmarks whose allocs/op grew
+	// beyond AllocThresholdPct. Only meaningful when AllocGateActive.
+	AllocRegressions int
+	// EnvMismatches is EnvMismatch(base, cur); non-empty downgrades the
+	// timing comparison to report-only.
+	EnvMismatches []string
+	// TimingGateActive: the environments match, so timing deltas are
+	// attributable to the code.
+	TimingGateActive bool
+	// AllocGateActive: the toolchains match, so allocs/op deltas are
+	// attributable to the code (cores and workers do not move them).
+	AllocGateActive bool
+}
+
 // DiffHostReports writes a benchstat-style comparison of two artifacts:
 // micro benchmarks and experiment timings side by side with the relative
-// change. Slowdowns beyond thresholdPct percent are flagged with a trailing
-// "!" and counted in the return value, so callers can opt into gating
-// (overlapbench bench-diff -fail-on-regression); by default the diff only
-// informs review, since wall-clock numbers are hardware-dependent.
-func DiffHostReports(w io.Writer, base, cur HostReport, thresholdPct float64) int {
-	regressions := 0
-	flag := func(deltaPct float64) string {
-		if deltaPct > thresholdPct {
-			regressions++
+// change. Slowdowns beyond opts.TimingThresholdPct and micro alloc growth
+// beyond opts.AllocThresholdPct are flagged with a trailing "!" and
+// counted in the result, so callers can opt into gating (overlapbench
+// bench-diff -fail-on-regression); by default the diff only informs
+// review. When the two artifacts come from different environments the
+// timing gate is downgraded to report-only with an explicit banner — it
+// used to compare a laptop against a CI runner and call the difference a
+// regression. The alloc gate stays active across hardware changes (same
+// toolchain) because allocation counts do not depend on core count.
+func DiffHostReports(w io.Writer, base, cur HostReport, opts DiffOptions) DiffResult {
+	res := DiffResult{
+		EnvMismatches:   EnvMismatch(base, cur),
+		AllocGateActive: !toolchainMismatch(base, cur),
+	}
+	res.TimingGateActive = len(res.EnvMismatches) == 0
+	tflag := func(deltaPct float64) string {
+		if deltaPct > opts.TimingThresholdPct {
+			res.TimingRegressions++
 			return "!"
 		}
 		return ""
 	}
-	fprintf(w, "Host benchmark diff (base: %s %s/%s %d cores; current: %s %s/%s %d cores)\n",
-		base.GoVersion, base.GOOS, base.GOARCH, base.Cores,
-		cur.GoVersion, cur.GOOS, cur.GOARCH, cur.Cores)
+	allocFlag := func(b, c int64) string {
+		grew := (b == 0 && c > 0) ||
+			(b > 0 && pctDelta(float64(b), float64(c)) > opts.AllocThresholdPct)
+		if grew && res.AllocGateActive {
+			res.AllocRegressions++
+			return "!"
+		}
+		return ""
+	}
+	fprintf(w, "Host benchmark diff (base: %s %s/%s %d cores %d workers; current: %s %s/%s %d cores %d workers)\n",
+		base.GoVersion, base.GOOS, base.GOARCH, base.Cores, base.Workers,
+		cur.GoVersion, cur.GOOS, cur.GOARCH, cur.Cores, cur.Workers)
+	if len(res.EnvMismatches) > 0 {
+		fprintf(w, "env-mismatch: report-only — timing gate disabled (%s)\n",
+			strings.Join(res.EnvMismatches, "; "))
+		if !res.AllocGateActive {
+			fprintf(w, "env-mismatch: toolchain differs — alloc gate disabled too\n")
+		}
+	}
 	fprintf(w, "\n%-34s %14s %14s %8s %10s %10s %8s\n",
 		"micro", "base ns/op", "cur ns/op", "delta", "base a/op", "cur a/op", "delta")
 	baseMicro := map[string]MicroBench{}
@@ -247,9 +363,11 @@ func DiffHostReports(w io.Writer, base, cur HostReport, thresholdPct float64) in
 			continue
 		}
 		d := pctDelta(bm.NsPerOp, m.NsPerOp)
-		fprintf(w, "%-34s %14.0f %14.0f %7.1f%%%s %10d %10d %7.1f%%\n",
-			m.Name, bm.NsPerOp, m.NsPerOp, d, flag(d),
-			bm.AllocsPerOp, m.AllocsPerOp, pctDelta(float64(bm.AllocsPerOp), float64(m.AllocsPerOp)))
+		fprintf(w, "%-34s %14.0f %14.0f %7.1f%%%s %10d %10d %7.1f%%%s\n",
+			m.Name, bm.NsPerOp, m.NsPerOp, d, tflag(d),
+			bm.AllocsPerOp, m.AllocsPerOp,
+			pctDelta(float64(bm.AllocsPerOp), float64(m.AllocsPerOp)),
+			allocFlag(bm.AllocsPerOp, m.AllocsPerOp))
 	}
 	fprintf(w, "\n%-12s %10s %10s %8s %10s %10s %8s\n",
 		"experiment", "base seq", "cur seq", "delta", "base par", "cur par", "delta")
@@ -265,17 +383,26 @@ func DiffHostReports(w io.Writer, base, cur HostReport, thresholdPct float64) in
 		}
 		ds, dp := pctDelta(be.SequentialS, e.SequentialS), pctDelta(be.ParallelS, e.ParallelS)
 		fprintf(w, "%-12s %9.2fs %9.2fs %7.1f%%%s %9.2fs %9.2fs %7.1f%%%s\n",
-			e.Name, be.SequentialS, e.SequentialS, ds, flag(ds),
-			be.ParallelS, e.ParallelS, dp, flag(dp))
+			e.Name, be.SequentialS, e.SequentialS, ds, tflag(ds),
+			be.ParallelS, e.ParallelS, dp, tflag(dp))
 	}
 	fprintf(w, "\ntotal: sequential %.2fs -> %.2fs (%+.1f%%), parallel %.2fs -> %.2fs (%+.1f%%), pool speedup %.2fx -> %.2fx\n",
 		base.TotalSequentialS, cur.TotalSequentialS, pctDelta(base.TotalSequentialS, cur.TotalSequentialS),
 		base.TotalParallelS, cur.TotalParallelS, pctDelta(base.TotalParallelS, cur.TotalParallelS),
 		base.Speedup, cur.Speedup)
-	if regressions > 0 {
-		fprintf(w, "%d timing(s) regressed more than %.1f%% (marked !)\n", regressions, thresholdPct)
+	if res.TimingRegressions > 0 {
+		gate := "gated"
+		if !res.TimingGateActive {
+			gate = "report-only: env mismatch"
+		}
+		fprintf(w, "%d timing(s) regressed more than %.1f%% (marked !, %s)\n",
+			res.TimingRegressions, opts.TimingThresholdPct, gate)
 	}
-	return regressions
+	if res.AllocRegressions > 0 {
+		fprintf(w, "%d micro bench(es) grew allocs/op more than %.1f%% (marked !)\n",
+			res.AllocRegressions, opts.AllocThresholdPct)
+	}
+	return res
 }
 
 func pctDelta(base, cur float64) float64 {

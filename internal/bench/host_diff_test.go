@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// Synthetic artifacts for the diff-gate tests: the env fields and a couple
+// of micro/experiment rows are all DiffHostReports consults.
+func syntheticReport() HostReport {
+	return HostReport{
+		GoVersion: "go1.24.0",
+		GOOS:      "linux",
+		GOARCH:    "amd64",
+		Cores:     8,
+		Workers:   8,
+		Micro: []MicroBench{
+			{Name: "mpi/allreduce-64rank-1MB", NsPerOp: 1000, AllocsPerOp: 13},
+			{Name: "simnet/p2p-stream-100msg", NsPerOp: 500, AllocsPerOp: 0},
+		},
+		Experiments: []ExperimentTiming{
+			{Name: "fig5", SequentialS: 10, ParallelS: 2, Speedup: 5},
+		},
+		TotalSequentialS: 10,
+		TotalParallelS:   2,
+		Speedup:          5,
+	}
+}
+
+// TestDiffEnvMismatchReportOnly: comparing artifacts from different
+// machines must not gate on timings — the banner names every differing
+// field and the timing gate goes report-only, while the alloc gate (same
+// toolchain) stays live.
+func TestDiffEnvMismatchReportOnly(t *testing.T) {
+	base, cur := syntheticReport(), syntheticReport()
+	cur.Cores, cur.Workers = 1, 1
+	cur.Micro[0].NsPerOp = 8000 // 8x slower: the hardware, not the code
+	var out strings.Builder
+	res := DiffHostReports(&out, base, cur, DiffOptions{TimingThresholdPct: 10, AllocThresholdPct: 10})
+	if res.TimingGateActive {
+		t.Error("timing gate active despite cores/workers mismatch")
+	}
+	if !res.AllocGateActive {
+		t.Error("alloc gate inactive despite identical toolchain")
+	}
+	if len(res.EnvMismatches) != 2 {
+		t.Errorf("EnvMismatches = %v, want cores and workers", res.EnvMismatches)
+	}
+	s := out.String()
+	if !strings.Contains(s, "env-mismatch: report-only") {
+		t.Errorf("diff output missing the env-mismatch banner:\n%s", s)
+	}
+	if !strings.Contains(s, "cores: 8 vs 1") || !strings.Contains(s, "workers: 8 vs 1") {
+		t.Errorf("banner must name the mismatched fields:\n%s", s)
+	}
+	// The slowdown is still *reported* (marked), just not gate-worthy.
+	if res.TimingRegressions == 0 {
+		t.Error("mismatched diff should still count the timing delta for the report")
+	}
+}
+
+// TestDiffToolchainMismatchDisablesAllocGate: a different Go version can
+// legitimately move allocs/op, so the alloc gate requires toolchain match.
+func TestDiffToolchainMismatchDisablesAllocGate(t *testing.T) {
+	base, cur := syntheticReport(), syntheticReport()
+	cur.GoVersion = "go1.25.0"
+	cur.Micro[0].AllocsPerOp = 500
+	var out strings.Builder
+	res := DiffHostReports(&out, base, cur, DiffOptions{TimingThresholdPct: 10, AllocThresholdPct: 10})
+	if res.AllocGateActive {
+		t.Error("alloc gate active despite go_version mismatch")
+	}
+	if res.AllocRegressions != 0 {
+		t.Errorf("AllocRegressions = %d with inactive gate, want 0", res.AllocRegressions)
+	}
+	if !strings.Contains(out.String(), "go_version: go1.24.0 vs go1.25.0") {
+		t.Errorf("banner must name the go_version mismatch:\n%s", out.String())
+	}
+}
+
+// TestDiffMatchedEnvGates: identical environments arm both gates; a timing
+// slowdown and an alloc growth past their thresholds are each counted.
+func TestDiffMatchedEnvGates(t *testing.T) {
+	base, cur := syntheticReport(), syntheticReport()
+	cur.Micro[0].NsPerOp = 1500   // +50% time
+	cur.Micro[0].AllocsPerOp = 26 // +100% allocs
+	cur.Experiments[0].ParallelS = 4
+	var out strings.Builder
+	res := DiffHostReports(&out, base, cur, DiffOptions{TimingThresholdPct: 10, AllocThresholdPct: 10})
+	if !res.TimingGateActive || !res.AllocGateActive {
+		t.Fatalf("gates inactive on matched env: %+v", res)
+	}
+	if len(res.EnvMismatches) != 0 {
+		t.Errorf("EnvMismatches = %v, want none", res.EnvMismatches)
+	}
+	if res.TimingRegressions != 2 { // micro ns/op + experiment parallel time
+		t.Errorf("TimingRegressions = %d, want 2", res.TimingRegressions)
+	}
+	if res.AllocRegressions != 1 {
+		t.Errorf("AllocRegressions = %d, want 1", res.AllocRegressions)
+	}
+	if strings.Contains(out.String(), "env-mismatch") {
+		t.Errorf("matched env printed a mismatch banner:\n%s", out.String())
+	}
+}
+
+// TestDiffAllocGrowthFromZero: a pooled path regressing from 0 allocs/op
+// to any positive count is flagged even though the percentage is
+// undefined.
+func TestDiffAllocGrowthFromZero(t *testing.T) {
+	base, cur := syntheticReport(), syntheticReport()
+	cur.Micro[1].AllocsPerOp = 3 // was 0
+	var out strings.Builder
+	res := DiffHostReports(&out, base, cur, DiffOptions{TimingThresholdPct: 10, AllocThresholdPct: 10})
+	if res.AllocRegressions != 1 {
+		t.Errorf("AllocRegressions = %d, want 1 (growth from zero base)", res.AllocRegressions)
+	}
+}

@@ -70,13 +70,14 @@ func (c *Comm) allreduceRing(sp *sim.Proc, buf Buffer, op Op, tagBase int) {
 		rb := ((c.rank-s-1)%p + p) % p
 		slo, shi := blockRange(n, p, sb)
 		rlo, rhi := blockRange(n, p, rb)
-		tmp := scratchLike(buf, rhi-rlo)
+		tmp := c.p.w.getScratch(buf, rhi-rlo)
 		sreq := c.isendOn(sp, right, tagBase+s, buf.Slice(slo, shi))
 		c.recvOn(sp, left, tagBase+s, tmp)
 		keep := buf.Slice(rlo, rhi)
 		c.chargeReduceArith(sp, keep.Bytes())
 		combineInto(keep, tmp, op)
-		sreq.waitOn(sp)
+		c.p.w.releaseScratch(tmp)
+		sreq.waitFree(sp)
 	}
 	for s := 0; s < p-1; s++ {
 		sb := ((c.rank+1-s)%p + p) % p
@@ -85,7 +86,7 @@ func (c *Comm) allreduceRing(sp *sim.Proc, buf Buffer, op Op, tagBase int) {
 		rlo, rhi := blockRange(n, p, rb)
 		sreq := c.isendOn(sp, right, tagBase+p-1+s, buf.Slice(slo, shi))
 		c.recvOn(sp, left, tagBase+p-1+s, buf.Slice(rlo, rhi))
-		sreq.waitOn(sp)
+		sreq.waitFree(sp)
 	}
 }
 
@@ -103,15 +104,16 @@ func (c *Comm) allreduceBruck(sp *sim.Proc, buf Buffer, op Op, tagBase int) {
 		for dist := 1; dist < pof2; dist <<= 1 {
 			dst := rsOldRank((newrank+dist)%pof2, p, pof2)
 			src := rsOldRank((newrank-dist+pof2)%pof2, p, pof2)
-			tmp := scratchLike(buf, buf.Len())
+			tmp := c.p.w.getScratch(buf, buf.Len())
 			sreq := c.isendOn(sp, dst, tagBase+round, buf)
 			c.recvOn(sp, src, tagBase+round, tmp)
 			// The shifted partner means my receive completing says nothing
 			// about my send: wait for it before mutating the accumulator,
 			// or a rendezvous consumer would see post-combine values.
-			sreq.waitOn(sp)
+			sreq.waitFree(sp)
 			c.chargeReduceArith(sp, buf.Bytes())
 			combineInto(buf, tmp, op)
+			c.p.w.releaseScratch(tmp)
 			round++
 		}
 	}
@@ -133,33 +135,46 @@ func factorize(p int) []int {
 	return fs
 }
 
-// blocksOf lists the blocks of residue class c modulo m among p blocks, in
-// ascending order.
-func blocksOf(cls, m, p int) []int {
-	out := make([]int, 0, (p-cls+m-1)/m)
+// classElems sums the element extents of the blocks in residue class cls
+// modulo m among p blocks of n total elements.
+func classElems(n, p, cls, m int) int {
+	total := 0
 	for b := cls; b < p; b += m {
-		out = append(out, b)
+		lo, hi := blockRange(n, p, b)
+		total += hi - lo
 	}
-	return out
+	return total
 }
 
-// packBlocks concatenates the listed blocks of buf (ascending block order)
-// into one send payload.
-func packBlocks(buf Buffer, n, p int, ids []int) Buffer {
-	if len(ids) == 1 {
-		lo, hi := blockRange(n, p, ids[0])
-		return buf.Slice(lo, hi)
+// packBlocks concatenates the blocks of residue class cls modulo m
+// (ascending block order, the order both endpoints agree on) into one send
+// payload. The second result reports whether the payload came from the
+// World's scratch pool and must be released (after the send completes);
+// single-block payloads alias buf and phantoms carry no storage, so
+// neither is pooled. The residue class is iterated directly — no block-ID
+// slice is materialized — keeping the shift schedule allocation-free in
+// steady state.
+func (c *Comm) packBlocks(buf Buffer, n, p, cls, m int) (Buffer, bool) {
+	if cls+m >= p { // single block in the class
+		lo, hi := blockRange(n, p, cls)
+		return buf.Slice(lo, hi), false
 	}
-	parts := make([]Buffer, len(ids))
-	maxElems := 0
-	for i, b := range ids {
-		lo, hi := blockRange(n, p, b)
-		parts[i] = buf.Slice(lo, hi)
-		if hi-lo > maxElems {
-			maxElems = hi - lo
+	if buf.IsPhantom() {
+		var total int64
+		for b := cls; b < p; b += m {
+			lo, hi := blockRange(n, p, b)
+			total += buf.Slice(lo, hi).Bytes()
 		}
+		return Phantom(total), false
 	}
-	return concatBuffers(parts, maxElems)
+	out := c.p.w.getF64(classElems(n, p, cls, m))
+	off := 0
+	for b := cls; b < p; b += m {
+		lo, hi := blockRange(n, p, b)
+		copy(out[off:], buf.Data[lo:hi])
+		off += hi - lo
+	}
+	return F64(out), true
 }
 
 // allreduceShift is the mixed-radix shift schedule from the allreduce
@@ -176,7 +191,10 @@ func packBlocks(buf Buffer, n, p int, ids []int) Buffer {
 func (c *Comm) allreduceShift(sp *sim.Proc, buf Buffer, op Op, tagBase int) {
 	p := c.Size()
 	n := buf.Len()
-	factors := factorize(p)
+	if c.shiftFactors == nil {
+		c.shiftFactors = factorize(p)
+	}
+	factors := c.shiftFactors
 	tag := tagBase
 
 	s := 1
@@ -186,25 +204,24 @@ func (c *Comm) allreduceShift(sp *sim.Proc, buf Buffer, op Op, tagBase int) {
 		for r := 1; r < f; r++ {
 			sendPeer := c.rank + ((d+r)%f-d)*s
 			recvPeer := c.rank + ((d-r+f)%f-d)*s
-			sendIDs := blocksOf(sendPeer%m, m, p)
-			recvIDs := blocksOf(c.rank%m, m, p)
-			var recvElems int
-			for _, b := range recvIDs {
-				lo, hi := blockRange(n, p, b)
-				recvElems += hi - lo
-			}
-			tmp := scratchLike(buf, recvElems)
-			sreq := c.isendOn(sp, sendPeer, tag, packBlocks(buf, n, p, sendIDs))
+			recvCls := c.rank % m
+			tmp := c.p.w.getScratch(buf, classElems(n, p, recvCls, m))
+			pk, pooled := c.packBlocks(buf, n, p, sendPeer%m, m)
+			sreq := c.isendOn(sp, sendPeer, tag, pk)
 			c.recvOn(sp, recvPeer, tag, tmp)
 			off := 0
-			for _, b := range recvIDs {
+			for b := recvCls; b < p; b += m {
 				lo, hi := blockRange(n, p, b)
 				keep := buf.Slice(lo, hi)
 				c.chargeReduceArith(sp, keep.Bytes())
 				combineInto(keep, tmp.Slice(off, off+hi-lo), op)
 				off += hi - lo
 			}
-			sreq.waitOn(sp)
+			c.p.w.releaseScratch(tmp)
+			sreq.waitFree(sp)
+			if pooled {
+				c.p.w.releaseScratch(pk)
+			}
 			tag++
 		}
 		s = m
@@ -218,23 +235,22 @@ func (c *Comm) allreduceShift(sp *sim.Proc, buf Buffer, op Op, tagBase int) {
 		for r := 1; r < f; r++ {
 			sendPeer := c.rank + ((d+r)%f-d)*s
 			recvPeer := c.rank + ((d-r+f)%f-d)*s
-			ownIDs := blocksOf(c.rank%m, m, p)
-			theirIDs := blocksOf(recvPeer%m, m, p)
-			var recvElems int
-			for _, b := range theirIDs {
-				lo, hi := blockRange(n, p, b)
-				recvElems += hi - lo
-			}
-			tmp := scratchLike(buf, recvElems)
-			sreq := c.isendOn(sp, sendPeer, tag, packBlocks(buf, n, p, ownIDs))
+			theirCls := recvPeer % m
+			tmp := c.p.w.getScratch(buf, classElems(n, p, theirCls, m))
+			pk, pooled := c.packBlocks(buf, n, p, c.rank%m, m)
+			sreq := c.isendOn(sp, sendPeer, tag, pk)
 			c.recvOn(sp, recvPeer, tag, tmp)
 			off := 0
-			for _, b := range theirIDs {
+			for b := theirCls; b < p; b += m {
 				lo, hi := blockRange(n, p, b)
 				buf.Slice(lo, hi).copyFrom(tmp.Slice(off, off+hi-lo))
 				off += hi - lo
 			}
-			sreq.waitOn(sp)
+			c.p.w.releaseScratch(tmp)
+			sreq.waitFree(sp)
+			if pooled {
+				c.p.w.releaseScratch(pk)
+			}
 			tag++
 		}
 	}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package mpi
+
+// raceAllocFactor is 1 in clean builds: budgets apply as written.
+const raceAllocFactor = 1

@@ -119,10 +119,84 @@ func combineInto(dst, src Buffer, op Op) {
 }
 
 // scratchLike allocates a receive scratch buffer shaped like b: real buffers
-// get real scratch, phantoms get phantom scratch.
+// get real scratch, phantoms get phantom scratch. The collective hot paths
+// use the pooled World.getScratch instead; this unpooled form remains for
+// the tree gather/scatter schedules, whose scratch is retained across the
+// whole call in block lists.
 func scratchLike(b Buffer, elems int) Buffer {
 	if b.Data == nil {
 		return Phantom(int64(elems) * 8)
 	}
 	return F64(make([]float64, elems))
+}
+
+// getScratch returns a scratch buffer shaped like b with elems elements,
+// drawing real storage from the World's free lists. The caller must hand the
+// buffer back with releaseScratch once its contents are fully consumed — and
+// never release a buffer a pending operation still references. Contents are
+// NOT zeroed: every consumer overwrites the full extent (receives copy the
+// entire payload in) before reading.
+func (w *World) getScratch(b Buffer, elems int) Buffer {
+	if b.Data == nil {
+		return Phantom(int64(elems) * 8)
+	}
+	return F64(w.getF64(elems))
+}
+
+// cloneBuf copies b's payload into pooled storage (phantoms clone to
+// themselves). Used for eager-send bounce buffers and reduction
+// accumulators; release with releaseScratch.
+func (w *World) cloneBuf(b Buffer) Buffer {
+	if b.Data == nil {
+		return b
+	}
+	c := w.getF64(len(b.Data))
+	copy(c, b.Data)
+	return F64(c)
+}
+
+// releaseScratch returns a getScratch/cloneBuf buffer to the free lists.
+// Phantoms (and slices not shaped like pool storage) are no-ops.
+func (w *World) releaseScratch(b Buffer) {
+	if b.Data != nil {
+		w.putF64(b.Data)
+	}
+}
+
+// getF64 returns a []float64 of length n backed by a power-of-two-capacity
+// array from the size-classed free list (or a fresh allocation on a miss).
+func (w *World) getF64(n int) []float64 {
+	if n == 0 {
+		return make([]float64, 0)
+	}
+	k := ceilLog2(n)
+	if s := w.scratchF64[k]; len(s) > 0 {
+		b := s[len(s)-1]
+		s[len(s)-1] = nil
+		w.scratchF64[k] = s[:len(s)-1]
+		return b[:n]
+	}
+	return make([]float64, n, 1<<k)
+}
+
+// putF64 returns a slice to its size class. Slices whose capacity is not an
+// exact power of two did not come from getF64 (e.g. a Slice view of a user
+// buffer that leaked here by mistake) and are dropped for the GC rather than
+// pooled, so user-owned storage can never be aliased by a later getF64.
+func (w *World) putF64(b []float64) {
+	c := cap(b)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	k := ceilLog2(c)
+	w.scratchF64[k] = append(w.scratchF64[k], b[:0])
+}
+
+// ceilLog2 returns the smallest k with 1<<k >= n (n >= 1).
+func ceilLog2(n int) int {
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	return k
 }

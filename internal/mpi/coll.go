@@ -161,7 +161,7 @@ func (c *Comm) bcastScatterAllgather(sp *sim.Proc, root int, buf Buffer, tag int
 		recvIdx := (vr - k - 1 + p) % p
 		sreq := c.isendOn(sp, right, tag+1+k, piece(sendIdx))
 		c.recvOn(sp, left, tag+1+k, piece(recvIdx))
-		sreq.waitOn(sp)
+		sreq.waitFree(sp)
 	}
 }
 
@@ -198,23 +198,27 @@ func (c *Comm) reduceRun(sp *sim.Proc, root int, sendBuf, recvBuf Buffer, op Op,
 // log2(p) rounds, full payload per hop, combine at every internal vertex.
 func (c *Comm) reduceBinomial(sp *sim.Proc, root int, sendBuf, recvBuf Buffer, op Op, tag int) {
 	p := c.Size()
+	w := c.p.w
 	vr := (c.rank - root + p) % p
-	acc := sendBuf.clone()
+	acc := w.cloneBuf(sendBuf)
 	for mask := 1; mask < p; mask <<= 1 {
 		if vr&mask == 0 {
 			srcVr := vr | mask
 			if srcVr < p {
-				tmp := scratchLike(acc, acc.Len())
+				tmp := w.getScratch(acc, acc.Len())
 				c.recvOn(sp, c.abs(srcVr, root), tag, tmp)
 				c.chargeReduceArith(sp, acc.Bytes())
 				combineInto(acc, tmp, op)
+				w.releaseScratch(tmp)
 			}
 		} else {
 			c.sendOn(sp, c.abs(vr-mask, root), tag, acc)
+			w.releaseScratch(acc)
 			return
 		}
 	}
 	recvBuf.copyFrom(acc) // only the root reaches here
+	w.releaseScratch(acc)
 }
 
 // rsFold handles the non-power-of-two preamble of Rabenseifner's
@@ -233,10 +237,11 @@ func (c *Comm) rsFold(sp *sim.Proc, acc Buffer, op Op, tag int) (newrank, pof2 i
 		c.sendOn(sp, c.rank-1, tag, acc)
 		return -1, pof2
 	case c.rank < 2*rem:
-		tmp := scratchLike(acc, acc.Len())
+		tmp := c.p.w.getScratch(acc, acc.Len())
 		c.recvOn(sp, c.rank+1, tag, tmp)
 		c.chargeReduceArith(sp, acc.Bytes())
 		combineInto(acc, tmp, op)
+		c.p.w.releaseScratch(tmp)
 		return c.rank / 2, pof2
 	default:
 		return c.rank - rem, pof2
@@ -284,13 +289,14 @@ func (c *Comm) rsHalving(sp *sim.Proc, acc Buffer, op Op, newrank, pof2, tagBase
 		} else {
 			keepLo, keepHi, sendLo, sendHi = mid, hi, lo, mid
 		}
-		tmp := scratchLike(acc, keepHi-keepLo)
+		tmp := c.p.w.getScratch(acc, keepHi-keepLo)
 		sreq := c.isendOn(sp, partner, tagBase+round, acc.Slice(sendLo, sendHi))
 		c.recvOn(sp, partner, tagBase+round, tmp)
 		keep := acc.Slice(keepLo, keepHi)
 		c.chargeReduceArith(sp, keep.Bytes())
 		combineInto(keep, tmp, op)
-		sreq.waitOn(sp)
+		c.p.w.releaseScratch(tmp)
+		sreq.waitFree(sp)
 		lo, hi = keepLo, keepHi
 		round++
 	}
@@ -305,8 +311,9 @@ func (c *Comm) rsHalving(sp *sim.Proc, acc Buffer, op Op, newrank, pof2, tagBase
 // simulated fabric.
 func (c *Comm) reduceRabenseifner(sp *sim.Proc, root int, sendBuf, recvBuf Buffer, op Op, tagBase int) {
 	p := c.Size()
+	w := c.p.w
 	n := sendBuf.Len()
-	acc := sendBuf.clone()
+	acc := w.cloneBuf(sendBuf)
 	newrank, pof2 := c.rsFold(sp, acc, op, tagBase)
 
 	var myLo, myHi int
@@ -336,11 +343,13 @@ func (c *Comm) reduceRabenseifner(sp *sim.Proc, root int, sendBuf, recvBuf Buffe
 			}
 			c.recvOn(sp, rsOldRank(nr, p, pof2), gatherTag, recvBuf.Slice(lo, hi))
 		}
+		w.releaseScratch(acc)
 		return
 	}
 	if newrank >= 0 && myHi > myLo {
 		c.sendOn(sp, root, gatherTag, acc.Slice(myLo, myHi))
 	}
+	w.releaseScratch(acc)
 }
 
 // ---------------------------------------------------------------------------
@@ -385,12 +394,13 @@ func (c *Comm) allreduceRecDoubling(sp *sim.Proc, buf Buffer, op Op, tagBase int
 		round := 1
 		for mask := 1; mask < pof2; mask <<= 1 {
 			partner := rsOldRank(newrank^mask, p, pof2)
-			tmp := scratchLike(buf, buf.Len())
+			tmp := c.p.w.getScratch(buf, buf.Len())
 			sreq := c.isendOn(sp, partner, tagBase+round, buf)
 			c.recvOn(sp, partner, tagBase+round, tmp)
 			c.chargeReduceArith(sp, buf.Bytes())
 			combineInto(buf, tmp, op)
-			sreq.waitOn(sp)
+			c.p.w.releaseScratch(tmp)
+			sreq.waitFree(sp)
 			round++
 		}
 	}
@@ -439,7 +449,7 @@ func (c *Comm) allreduceRabenseifner(sp *sim.Proc, buf Buffer, op Op, tagBase in
 			} else {
 				c.recvOn(sp, partner, tagBase+round, Buffer{})
 			}
-			sreq.waitOn(sp)
+			sreq.waitFree(sp)
 			lo, hi = plo, phi
 			round++
 		}
@@ -477,7 +487,7 @@ func (c *Comm) barrierRun(sp *sim.Proc, tagBase int) {
 		src := (c.rank - mask + p) % p
 		sreq := c.isendOn(sp, dst, tagBase+round, Buffer{})
 		c.recvOn(sp, src, tagBase+round, Buffer{})
-		sreq.waitOn(sp)
+		sreq.waitFree(sp)
 		round++
 	}
 }

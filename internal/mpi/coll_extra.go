@@ -138,7 +138,7 @@ func (c *Comm) allgatherRun(sp *sim.Proc, sendBuf Buffer, recvBufs []Buffer, tag
 		recvIdx := (c.rank - k - 1 + p) % p
 		sreq := c.isendOn(sp, right, tag+k, recvBufs[sendIdx])
 		c.recvOn(sp, left, tag+k, recvBufs[recvIdx])
-		sreq.waitOn(sp)
+		sreq.waitFree(sp)
 	}
 }
 
@@ -161,7 +161,7 @@ func (c *Comm) alltoallRun(sp *sim.Proc, sendBufs, recvBufs []Buffer, tag int) {
 		}
 		sreq := c.isendOn(sp, dst, tag+k, sendBufs[dst])
 		c.recvOn(sp, src, tag+k, recvBufs[src])
-		sreq.waitOn(sp)
+		sreq.waitFree(sp)
 	}
 }
 

@@ -89,7 +89,7 @@ func (c *Comm) Allgatherv(sendBuf Buffer, counts []int, recvBufs []Buffer) {
 		recvIdx := (c.rank - k - 1 + p) % p
 		sreq := c.isendOn(sp, right, tag+k, recvBufs[sendIdx])
 		c.recvOn(sp, left, tag+k, recvBufs[recvIdx])
-		sreq.waitOn(sp)
+		sreq.waitFree(sp)
 	}
 }
 
@@ -115,7 +115,7 @@ func (c *Comm) Scatterv(root int, sendBufs []Buffer, counts []int, recvBuf Buffe
 			reqs = append(reqs, c.isendOn(sp, r, tag, sendBufs[r]))
 		}
 		for _, r := range reqs {
-			r.waitOn(sp)
+			r.waitFree(sp)
 		}
 		return
 	}
@@ -147,7 +147,7 @@ func (c *Comm) Iallgatherv(sendBuf Buffer, counts []int, recvBufs []Buffer) *Req
 			recvIdx := (rank - k - 1 + p) % p
 			sreq := c.isendOn(sp, right, tag+k, recvBufs[sendIdx])
 			c.recvOn(sp, left, tag+k, recvBufs[recvIdx])
-			sreq.waitOn(sp)
+			sreq.waitFree(sp)
 		}
 	})
 }

@@ -22,6 +22,8 @@ type Comm struct {
 	collSeq  int  // per-rank count of collective calls on this comm
 	splitSeq int  // per-rank count of Split/Dup calls on this comm
 	freed    bool // set by Free; subsequent operations panic
+
+	shiftFactors []int // lazy cache of factorize(Size()) for allreduceShift
 }
 
 // checkUsable panics when the handle has been freed. Every operation entry

@@ -67,19 +67,27 @@ func Waitall(reqs ...*Request) {
 
 // inflight is the receiver-side record of a message: either an eager
 // payload that has arrived, or a rendezvous announcement (RTS) whose bulk
-// data moves only after a matching receive is posted.
+// data moves only after a matching receive is posted. Records are recycled
+// through World.msgPool; the rendezvous fields are inlined (rather than a
+// side object) so one pooled record carries the message through its whole
+// protocol, with the static transfer callbacks below receiving it as their
+// argument.
 type inflight struct {
 	ctx, src, tag int   // src is the sender's comm rank
 	seq           int64 // per-(ctx, src->dst) send order, drives admission
 	bytes         int64
-	payload       Buffer // eager: valid at delivery
-	rndv          *rndvInfo
-}
+	payload       Buffer     // eager: the bounce copy; rendezvous: the bulk copy
+	dst           *rankState // receiver, for the delivery callbacks
 
-type rndvInfo struct {
+	// Rendezvous state, valid when rndv is true: the sender's identity and
+	// pinned buffer from the RTS, the send request to complete at bulk
+	// injection, and the matched receive captured when the CTS goes back.
+	rndv     bool
 	srcWorld int // world rank of the sender, for endpoint lookup
 	srcBuf   Buffer
 	sendReq  *Request
+	rbuf     Buffer
+	rreq     *Request
 }
 
 type postedRecv struct {
@@ -110,30 +118,68 @@ func (c *Comm) isendOn(sp *sim.Proc, dest, tag int, buf Buffer) *Request {
 	req := w.newRequest(sp, "isend", st.rank, c.ctx)
 	size := buf.Bytes()
 	sk := pairKey{ctx: c.ctx, peer: dstWorld}
-	m := &inflight{ctx: c.ctx, src: c.rank, tag: tag, seq: st.sendSeq[sk], bytes: size}
+	m := w.getMsg()
+	m.ctx, m.src, m.tag = c.ctx, c.rank, tag
+	m.seq, m.bytes = st.sendSeq[sk], size
+	m.dst = dst
 	st.sendSeq[sk]++
 	w.emit(trace.MsgPost, m, dstWorld)
 
 	if size <= w.Net.Cfg.EagerLimit {
 		w.Metrics.Inc("mpi.msgs", "eager")
 		w.Metrics.Add("mpi.msg.bytes", "eager", float64(size))
-		pay := buf.clone()
-		inj, del := w.Net.Transfer(st.ep, dst.ep, size)
-		inj.OnFire(func() { req.done.Fire() })
-		del.OnFire(func() {
-			m.payload = pay
-			dst.deliver(m)
-		})
+		m.payload = w.cloneBuf(buf)
+		w.Net.TransferFn(st.ep, dst.ep, size, fireReqGate, req, deliverEnvelope, m)
 		return req
 	}
 
 	w.Metrics.Inc("mpi.msgs", "rndv")
 	w.Metrics.Add("mpi.msg.bytes", "rndv", float64(size))
-	m.rndv = &rndvInfo{srcWorld: st.rank, srcBuf: buf, sendReq: req}
-	_, rtsDel := w.Net.Transfer(st.ep, dst.ep, 0)
-	rtsDel.OnFire(func() { dst.deliver(m) })
+	m.rndv = true
+	m.srcWorld = st.rank
+	m.srcBuf = buf
+	m.sendReq = req
+	w.Net.TransferFn(st.ep, dst.ep, 0, nil, nil, deliverEnvelope, m)
 	return req
 }
+
+// The transfer-completion callbacks are package-level function values: with
+// simnet's TransferFn/OnFireArg forms, registering them moves only a pointer
+// pair, so the per-message fast path allocates no closures.
+var (
+	// fireReqGate completes a request at a transfer milestone (eager
+	// injection, rendezvous bulk injection).
+	fireReqGate = func(a any) { a.(*Request).done.Fire() }
+
+	// deliverEnvelope hands a delivered envelope (eager payload or
+	// rendezvous RTS) to its receiver's matching engine.
+	deliverEnvelope = func(a any) { m := a.(*inflight); m.dst.deliver(m) }
+
+	// ctsArrived runs at the sender when the receiver's clear-to-send
+	// lands: capture the pinned send buffer and start the bulk transfer.
+	// The sender's buffer is captured at transfer start; under MPI
+	// semantics the application must not modify it before the send request
+	// completes, which is later than this instant.
+	ctsArrived = func(a any) {
+		m := a.(*inflight)
+		w := m.dst.w
+		srcSt := w.ranks[m.srcWorld]
+		m.payload = w.cloneBuf(m.srcBuf)
+		w.Net.TransferBulkFn(srcSt.ep, m.dst.ep, m.bytes, fireReqGate, m.sendReq, bulkDelivered, m)
+	}
+
+	// bulkDelivered runs at the receiver when the rendezvous bulk data has
+	// fully arrived: copy out, recycle the envelope, complete the receive.
+	bulkDelivered = func(a any) {
+		m := a.(*inflight)
+		w := m.dst.w
+		m.rbuf.copyFrom(m.payload)
+		rreq := m.rreq
+		w.releaseScratch(m.payload)
+		w.putMsg(m)
+		rreq.done.Fire()
+	}
+)
 
 // irecvOn posts a receive on behalf of sp. The posted buffer may be larger
 // than the incoming message (the extra elements are untouched); a smaller
@@ -144,8 +190,11 @@ func (c *Comm) irecvOn(sp *sim.Proc, src, tag int, buf Buffer) *Request {
 	}
 	c.checkUsable()
 	st := c.p.st
-	req := c.p.w.newRequest(sp, "irecv", st.rank, c.ctx)
-	r := &postedRecv{ctx: c.ctx, src: src, tag: tag, buf: buf, req: req}
+	w := c.p.w
+	req := w.newRequest(sp, "irecv", st.rank, c.ctx)
+	r := w.getRecv()
+	r.ctx, r.src, r.tag = c.ctx, src, tag
+	r.buf, r.req = buf, req
 	for i, m := range st.unexpected {
 		if m.matches(r) {
 			st.unexpected = append(st.unexpected[:i], st.unexpected[i+1:]...)
@@ -224,25 +273,22 @@ func (st *rankState) complete(m *inflight, r *postedRecv) {
 	st.w.emit(trace.MsgMatch, m, st.rank)
 	r.req.Status = Status{Source: m.src, Tag: m.tag, Bytes: m.bytes}
 	w := st.w
-	if m.rndv == nil {
+	if !m.rndv {
 		r.buf.copyFrom(m.payload)
-		r.req.done.Fire()
+		req := r.req
+		w.releaseScratch(m.payload)
+		w.putMsg(m)
+		w.putRecv(r)
+		req.done.Fire()
 		return
 	}
-	srcSt := w.ranks[m.rndv.srcWorld]
-	_, ctsDel := w.Net.Transfer(st.ep, srcSt.ep, 0)
-	ctsDel.OnFire(func() {
-		// The sender's buffer is captured at transfer start; under MPI
-		// semantics the application must not modify it before the send
-		// request completes, which is later than this instant.
-		pay := m.rndv.srcBuf.clone()
-		inj, del := w.Net.TransferBulk(srcSt.ep, st.ep, m.bytes)
-		inj.OnFire(func() { m.rndv.sendReq.done.Fire() })
-		del.OnFire(func() {
-			r.buf.copyFrom(pay)
-			r.req.done.Fire()
-		})
-	})
+	// Rendezvous: fold the matched receive into the envelope (the record
+	// outlives the postedRecv), recycle the posting record, and send the CTS
+	// back; ctsArrived starts the bulk transfer at the sender.
+	srcSt := w.ranks[m.srcWorld]
+	m.rbuf, m.rreq = r.buf, r.req
+	w.putRecv(r)
+	w.Net.TransferFn(st.ep, srcSt.ep, 0, nil, nil, ctsArrived, m)
 }
 
 func (m *inflight) payloadFits(dst Buffer) bool {
@@ -252,16 +298,25 @@ func (m *inflight) payloadFits(dst Buffer) bool {
 	return m.bytes <= int64(len(dst.Data))*8
 }
 
+// waitFree completes an internally posted request and recycles it. Never
+// call it on a request that has been returned to the application.
+func (r *Request) waitFree(sp *sim.Proc) {
+	sp.Wait(r.done)
+	r.w.freeRequest(r)
+}
+
 // sendOn is a blocking send on behalf of sp.
 func (c *Comm) sendOn(sp *sim.Proc, dest, tag int, buf Buffer) {
-	c.isendOn(sp, dest, tag, buf).waitOn(sp)
+	c.isendOn(sp, dest, tag, buf).waitFree(sp)
 }
 
 // recvOn is a blocking receive on behalf of sp.
 func (c *Comm) recvOn(sp *sim.Proc, src, tag int, buf Buffer) Status {
 	req := c.irecvOn(sp, src, tag, buf)
 	req.waitOn(sp)
-	return req.Status
+	status := req.Status
+	c.p.w.freeRequest(req)
+	return status
 }
 
 // Isend posts a nonblocking send of buf to dest with the given tag.
@@ -291,5 +346,7 @@ func (c *Comm) Sendrecv(dest, sendTag int, sendBuf Buffer, src, recvTag int, rec
 	rreq := c.irecvOn(c.p.sp, src, recvTag, recvBuf)
 	c.sendOn(c.p.sp, dest, sendTag, sendBuf)
 	rreq.waitOn(c.p.sp)
-	return rreq.Status
+	status := rreq.Status
+	c.p.w.freeRequest(rreq)
+	return status
 }

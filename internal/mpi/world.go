@@ -89,6 +89,22 @@ type World struct {
 
 	open         map[*Request]reqInfo // in-flight (unfired) requests
 	parks, wakes int                  // RunActive park/wake accounting
+
+	// Free lists for the collective hot path's per-operation objects:
+	// requests, receiver-side envelopes, posted-receive records, and the
+	// float64 scratch backing eager clones and reduction temporaries
+	// (bucketed by power-of-two capacity). Owned by the World — never shared
+	// across jobs — so parallel replicas stay isolated and runs remain
+	// byte-identical at any worker count. The engine's cooperative execution
+	// (exactly one process at a time) means none of them needs locking.
+	reqPool    []*Request
+	msgPool    []*inflight
+	recvPool   []*postedRecv
+	scratchF64 [64][][]float64
+
+	// idGroup is the world communicator's rank mapping, shared by every
+	// rank's Comm (the group is immutable after Launch).
+	idGroup []int
 }
 
 // reqInfo describes an open request for teardown diagnostics.
@@ -155,13 +171,78 @@ func NewWorld(net *simnet.Net, size int, placement []int) (*World, error) {
 	return w, nil
 }
 
-// newRequest allocates a tracked request. Every request the library creates
-// goes through here so that teardown can enumerate the ones never completed.
+// reqOpenDone removes a completed request from the open-request table. It is
+// a package-level function registered via OnFireArg so the per-request
+// completion hook allocates no closure.
+var reqOpenDone = func(a any) {
+	r := a.(*Request)
+	delete(r.w.open, r)
+}
+
+// newRequest allocates (or recycles) a tracked request. Every request the
+// library creates goes through here so that teardown can enumerate the ones
+// never completed.
 func (w *World) newRequest(sp *sim.Proc, kind string, rank, ctx int) *Request {
-	req := &Request{done: w.Eng.NewGate(), sp: sp, w: w}
+	var req *Request
+	if n := len(w.reqPool); n > 0 {
+		req = w.reqPool[n-1]
+		w.reqPool[n-1] = nil
+		w.reqPool = w.reqPool[:n-1]
+		req.done, req.sp = w.Eng.NewGate(), sp
+	} else {
+		req = &Request{done: w.Eng.NewGate(), sp: sp, w: w}
+	}
 	w.open[req] = reqInfo{kind: kind, rank: rank, ctx: ctx}
-	req.done.OnFire(func() { delete(w.open, req) })
+	req.done.OnFireArg(reqOpenDone, req)
 	return req
+}
+
+// freeRequest recycles an internally owned request after its completion has
+// been consumed, returning its gate to the engine's free list. Only the
+// library's own blocking wrappers and collective schedules may call it:
+// requests handed to the application are never recycled, so user code can
+// hold one (and Test/Wait it) indefinitely.
+func (w *World) freeRequest(r *Request) {
+	if !r.done.Fired() {
+		panic("mpi: freeRequest on an incomplete request")
+	}
+	w.Eng.FreeGate(r.done)
+	r.done, r.sp = nil, nil
+	r.Status = Status{}
+	w.reqPool = append(w.reqPool, r)
+}
+
+// getMsg and putMsg recycle receiver-side envelopes. putMsg zeroes the
+// record so the pool retains no payload or request references.
+func (w *World) getMsg() *inflight {
+	if n := len(w.msgPool); n > 0 {
+		m := w.msgPool[n-1]
+		w.msgPool[n-1] = nil
+		w.msgPool = w.msgPool[:n-1]
+		return m
+	}
+	return &inflight{}
+}
+
+func (w *World) putMsg(m *inflight) {
+	*m = inflight{}
+	w.msgPool = append(w.msgPool, m)
+}
+
+// getRecv and putRecv recycle posted-receive records.
+func (w *World) getRecv() *postedRecv {
+	if n := len(w.recvPool); n > 0 {
+		r := w.recvPool[n-1]
+		w.recvPool[n-1] = nil
+		w.recvPool = w.recvPool[:n-1]
+		return r
+	}
+	return &postedRecv{}
+}
+
+func (w *World) putRecv(r *postedRecv) {
+	*r = postedRecv{}
+	w.recvPool = append(w.recvPool, r)
 }
 
 // emit publishes a message-protocol step to the Probe hook, if installed.
@@ -282,11 +363,14 @@ type Proc struct {
 // Launch spawns one simulation process per rank running body. Call
 // Engine.Run afterwards to execute the job.
 func (w *World) Launch(body func(p *Proc)) {
+	if w.idGroup == nil {
+		w.idGroup = identityGroup(len(w.ranks))
+	}
 	for r := 0; r < len(w.ranks); r++ {
 		st := w.ranks[r]
 		w.Eng.Spawn(fmt.Sprintf("rank%d", r), func(sp *sim.Proc) {
 			p := &Proc{w: w, rank: st.rank, sp: sp, st: st}
-			p.world = &Comm{p: p, ctx: 0, rank: st.rank, group: identityGroup(len(w.ranks))}
+			p.world = &Comm{p: p, ctx: 0, rank: st.rank, group: w.idGroup}
 			body(p)
 		})
 	}

@@ -9,46 +9,97 @@
 // the slice in index order — so tables, CSVs and traces rendered from the
 // results are byte-identical to a sequential run regardless of how the
 // workers interleave. Determinism lives in the keying, not the scheduling.
+//
+// When case costs are skewed — a tune grid mixing 1-rank and 216-rank
+// replicas — the issue order matters for wall clock: if a worker draws the
+// most expensive case last, every other worker idles behind it. MapOrder
+// accepts an explicit issue order (longest-expected-case-first via
+// OrderByCostDesc) so the big replicas start immediately and the small
+// ones backfill, without changing the results: slots stay index-keyed.
 package runner
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
 )
 
 // EnvWorkers is the environment variable that overrides the default pool
-// width (a positive integer; anything else is ignored).
+// width (a positive integer; anything else draws a one-time warning and is
+// ignored).
 const EnvWorkers = "OVERLAP_WORKERS"
+
+var (
+	// warnOut receives the one-time malformed-override warning; a
+	// variable so tests can capture it.
+	warnOut io.Writer = os.Stderr
+	// warnOnce collapses repeated DefaultWorkers calls to one warning
+	// per process; tests reset it to exercise the branch.
+	warnOnce sync.Once
+)
 
 // DefaultWorkers returns the pool width used when Map is called with
 // workers <= 0: the OVERLAP_WORKERS override when set to a positive
-// integer, else GOMAXPROCS.
+// integer, else GOMAXPROCS. A malformed override (non-integer, zero,
+// negative) is ignored with a one-time warning on stderr naming the bad
+// value — silently falling back made typos like OVERLAP_WORKERS=8x look
+// like a slow machine.
 func DefaultWorkers() int {
 	if s := os.Getenv(EnvWorkers); s != "" {
 		if v, err := strconv.Atoi(s); err == nil && v > 0 {
 			return v
 		}
+		warnOnce.Do(func() {
+			fmt.Fprintf(warnOut,
+				"runner: ignoring malformed %s=%q (want a positive integer); using GOMAXPROCS=%d\n",
+				EnvWorkers, s, runtime.GOMAXPROCS(0))
+		})
 	}
 	return runtime.GOMAXPROCS(0)
 }
 
 // Map runs fn(i) for every i in [0, n) across min(workers, n) goroutines
 // and returns the results in index order. workers <= 0 selects
-// DefaultWorkers(); workers == 1 degenerates to a plain sequential loop
-// that stops at the first error, exactly like the loop it replaces.
+// DefaultWorkers(). Cases are issued in index order; use MapOrder to issue
+// expensive cases first on skewed workloads.
 //
-// Error and panic reporting is deterministic: if several cases fail, Map
-// returns (or re-raises) the failure with the lowest case index, which is
-// the one a sequential run would have hit first. A re-raised panic carries
-// the original panic value; the stack is the worker's, not fn's original
-// frame, so fn implementations that panic should say which case they are.
+// Semantics are identical at every pool width, including workers == 1:
+// ALL cases run — an early failure does not stop later cases — and the
+// returned error (or re-raised panic) is the failure with the lowest case
+// index, the one a stop-at-first-error sequential loop would have hit
+// first. On error the result slice is still returned in full: slots whose
+// case succeeded hold real values, slots whose case failed hold whatever
+// fn returned alongside its error. Callers that continue past an error
+// must consult it before trusting any slot.
+//
+// A re-raised panic carries the original panic value; the stack is the
+// worker's, not fn's original frame, so fn implementations that panic
+// should say which case they are.
 func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	return MapOrder(n, workers, nil, fn)
+}
+
+// MapOrder is Map with an explicit issue order: workers claim
+// order[0], order[1], ... instead of 0, 1, ... A nil order means index
+// order. The order affects ONLY scheduling — results are keyed by case
+// index, so the returned slice (and the lowest-index error choice) is
+// byte-identical for every order at every worker count. Panics if a
+// non-nil order is not a permutation of [0, n).
+//
+// For workloads whose per-case costs differ by orders of magnitude, pass
+// OrderByCostDesc of the expected costs: longest-expected-case-first keeps
+// the pool busy instead of idling behind a big replica drawn last.
+func MapOrder[T any](n, workers int, order []int, fn func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
+	}
+	if order != nil {
+		checkPermutation(n, order)
 	}
 	if workers <= 0 {
 		workers = DefaultWorkers()
@@ -57,34 +108,36 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 		workers = n
 	}
 	out := make([]T, n)
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			v, err := fn(i)
-			if err != nil {
-				return out, err
-			}
-			out[i] = v
-		}
-		return out, nil
-	}
 	errs := make([]error, n)
 	panics := make([]any, n)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				runCase(i, fn, out, errs, panics)
-			}
-		}()
+	caseAt := func(k int) int {
+		if order == nil {
+			return k
+		}
+		return order[k]
 	}
-	wg.Wait()
+	if workers <= 1 {
+		for k := 0; k < n; k++ {
+			runCase(caseAt(k), fn, out, errs, panics)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					k := int(next.Add(1)) - 1
+					if k >= n {
+						return
+					}
+					runCase(caseAt(k), fn, out, errs, panics)
+				}
+			}()
+		}
+		wg.Wait()
+	}
 	for i := 0; i < n; i++ {
 		if panics[i] != nil {
 			panic(fmt.Sprintf("runner: case %d panicked: %v", i, panics[i]))
@@ -94,6 +147,37 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 		}
 	}
 	return out, nil
+}
+
+// OrderByCostDesc returns the issue order that schedules the highest
+// expected cost first. Ties keep index order (stable), so the order — and
+// with it any scheduling-sensitive observable like a progress log — is
+// deterministic for a given cost slice.
+func OrderByCostDesc(costs []float64) []int {
+	order := make([]int, len(costs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return costs[order[a]] > costs[order[b]]
+	})
+	return order
+}
+
+// checkPermutation panics unless order is a permutation of [0, n) — a
+// misbuilt order would silently skip cases and double-run others, which is
+// a programmer error, not a runtime condition.
+func checkPermutation(n int, order []int) {
+	if len(order) != n {
+		panic(fmt.Sprintf("runner: order has %d entries for %d cases", len(order), n))
+	}
+	seen := make([]bool, n)
+	for _, i := range order {
+		if i < 0 || i >= n || seen[i] {
+			panic(fmt.Sprintf("runner: order is not a permutation of [0,%d): bad entry %d", n, i))
+		}
+		seen[i] = true
+	}
 }
 
 // runCase executes one case, catching a panic into its slot so the other

@@ -3,7 +3,9 @@ package runner
 import (
 	"errors"
 	"fmt"
+	"os"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -29,23 +31,128 @@ func TestMapOrdering(t *testing.T) {
 	}
 }
 
-// TestMapSequentialParity: workers=1 must stop at the first error like the
-// plain loop it replaces, never invoking later cases.
+// TestMapSequentialParity: workers=1 has the SAME semantics as the
+// parallel pool — all cases run even after an early error, the
+// lowest-index error is reported, and every successful slot holds its real
+// value. (The sequential path used to stop at the first error and leave
+// later slots zero-valued, so the same grid could return different partial
+// results at different -workers settings.)
 func TestMapSequentialParity(t *testing.T) {
-	calls := 0
 	boom := errors.New("boom")
-	_, err := Map(10, 1, func(i int) (int, error) {
+	for _, workers := range []int{1, 4} {
+		calls := 0
+		out, err := Map(10, workers, func(i int) (int, error) {
+			calls++
+			if i == 3 {
+				return 0, boom
+			}
+			return i * i, nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want %v", workers, err, boom)
+		}
+		if workers == 1 && calls != 10 {
+			t.Fatalf("sequential path made %d calls, want 10 (run all, report lowest)", calls)
+		}
+		for i, v := range out {
+			want := i * i
+			if i == 3 {
+				want = 0
+			}
+			if v != want {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d (partial results must be complete)", workers, i, v, want)
+			}
+		}
+	}
+}
+
+// TestMapSequentialPanicParity: workers=1 catches panics per-case and
+// re-raises the lowest-index one after all cases ran, like the pool does.
+func TestMapSequentialPanicParity(t *testing.T) {
+	calls := 0
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected re-raised panic")
+		}
+		if s := fmt.Sprint(r); !strings.Contains(s, "case 2 panicked") {
+			t.Fatalf("panic = %q, want lowest case index named", s)
+		}
+		if calls != 6 {
+			t.Fatalf("sequential path made %d calls, want 6 (run all before re-raising)", calls)
+		}
+	}()
+	Map(6, 1, func(i int) (int, error) {
 		calls++
-		if i == 3 {
-			return 0, boom
+		if i == 2 || i == 4 {
+			panic(fmt.Sprintf("boom %d", i))
 		}
 		return i, nil
 	})
-	if !errors.Is(err, boom) {
-		t.Fatalf("err = %v, want %v", err, boom)
+}
+
+// TestMapOrderScheduling: an explicit issue order changes only the
+// sequence fn is invoked in; the results stay index-keyed and identical.
+func TestMapOrderScheduling(t *testing.T) {
+	const n = 8
+	order := []int{7, 6, 5, 4, 3, 2, 1, 0}
+	var issued []int
+	out, err := MapOrder(n, 1, order, func(i int) (int, error) {
+		issued = append(issued, i)
+		return i * 10, nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if calls != 4 {
-		t.Fatalf("sequential path made %d calls, want 4 (stop at first error)", calls)
+	for k, i := range issued {
+		if i != order[k] {
+			t.Fatalf("issue sequence %v, want %v", issued, order)
+		}
+	}
+	for i, v := range out {
+		if v != i*10 {
+			t.Fatalf("out[%d] = %d, want %d (results must be index-keyed)", i, v, i*10)
+		}
+	}
+	// Same order through the parallel pool: same results.
+	out2, err := MapOrder(n, 3, order, func(i int) (int, error) { return i * 10, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if out[i] != out2[i] {
+			t.Fatalf("parallel MapOrder diverged at %d: %d vs %d", i, out[i], out2[i])
+		}
+	}
+}
+
+// TestMapOrderRejectsBadOrder: non-permutations are programmer errors.
+func TestMapOrderRejectsBadOrder(t *testing.T) {
+	for _, bad := range [][]int{
+		{0, 1},        // wrong length
+		{0, 1, 1, 3},  // duplicate
+		{0, 1, 2, 4},  // out of range
+		{-1, 1, 2, 3}, // negative
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("order %v: expected panic", bad)
+				}
+			}()
+			MapOrder(4, 2, bad, func(i int) (int, error) { return i, nil })
+		}()
+	}
+}
+
+// TestOrderByCostDesc: descending by cost, index order on ties.
+func TestOrderByCostDesc(t *testing.T) {
+	got := OrderByCostDesc([]float64{1, 9, 3, 9, 0.5})
+	want := []int{1, 3, 2, 0, 4}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("OrderByCostDesc = %v, want %v", got, want)
+		}
 	}
 }
 
@@ -98,18 +205,42 @@ func TestMapEdgeCases(t *testing.T) {
 	}
 }
 
-// TestDefaultWorkersOverride: the env var overrides, junk is ignored.
+// TestDefaultWorkersOverride: a well-formed env override is honored
+// silently; junk draws a one-time warning naming the bad value and falls
+// back to GOMAXPROCS.
 func TestDefaultWorkersOverride(t *testing.T) {
+	capture := func() *strings.Builder {
+		var buf strings.Builder
+		warnOut = &buf
+		warnOnce = sync.Once{}
+		t.Cleanup(func() { warnOut = os.Stderr })
+		return &buf
+	}
+
+	buf := capture()
 	t.Setenv(EnvWorkers, "7")
 	if got := DefaultWorkers(); got != 7 {
 		t.Fatalf("DefaultWorkers with override = %d, want 7", got)
 	}
-	t.Setenv(EnvWorkers, "zero")
-	if got := DefaultWorkers(); got < 1 {
-		t.Fatalf("DefaultWorkers with junk override = %d, want >= 1", got)
+	if buf.Len() != 0 {
+		t.Fatalf("valid override warned: %q", buf.String())
 	}
-	t.Setenv(EnvWorkers, "-3")
-	if got := DefaultWorkers(); got < 1 {
-		t.Fatalf("DefaultWorkers with negative override = %d, want >= 1", got)
+
+	for _, junk := range []string{"zero", "-3", "0", "8x"} {
+		buf := capture()
+		t.Setenv(EnvWorkers, junk)
+		if got := DefaultWorkers(); got < 1 {
+			t.Fatalf("DefaultWorkers with %q = %d, want >= 1", junk, got)
+		}
+		w := buf.String()
+		if !strings.Contains(w, EnvWorkers) || !strings.Contains(w, junk) {
+			t.Fatalf("override %q: warning %q must name the variable and bad value", junk, w)
+		}
+		// The warning is once per process: a second call stays silent.
+		before := buf.Len()
+		DefaultWorkers()
+		if buf.Len() != before {
+			t.Fatalf("override %q: warned twice", junk)
+		}
 	}
 }

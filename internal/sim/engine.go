@@ -43,6 +43,11 @@ type Engine struct {
 	// re-armed by Spawn. Run releases them when the simulation ends so an
 	// abandoned engine does not pin goroutines (and through them, itself).
 	pool []*Proc
+
+	// gatePool holds gates recycled via FreeGate, ready to be re-armed by
+	// NewGate with their waiter/callback slice capacity intact. Owned by the
+	// engine so parallel replicas (one engine each) never share free lists.
+	gatePool []*Gate
 }
 
 type event struct {

@@ -10,11 +10,52 @@ type Gate struct {
 	fired   bool
 	t       float64 // fire time, valid once fired
 	waiters []*Proc
-	cbs     []func()
+	cbs     []gateCB
 }
 
-// NewGate returns an unfired gate.
-func (e *Engine) NewGate() *Gate { return &Gate{eng: e} }
+// gateCB is one registered fire callback: either a plain closure (fn) or a
+// static function plus argument (afn, arg). The latter form lets hot paths
+// register callbacks without allocating a closure per registration — the
+// function value is a package-level variable and the argument is an object
+// the caller already owns.
+type gateCB struct {
+	fn  func()
+	afn func(any)
+	arg any
+}
+
+// NewGate returns an unfired gate, recycled from the engine's free list when
+// one is available. Recycled gates keep their waiter and callback slice
+// capacity, so steady-state gate churn allocates nothing.
+func (e *Engine) NewGate() *Gate {
+	if n := len(e.gatePool); n > 0 {
+		g := e.gatePool[n-1]
+		e.gatePool[n-1] = nil
+		e.gatePool = e.gatePool[:n-1]
+		return g
+	}
+	return &Gate{eng: e}
+}
+
+// FreeGate returns a gate to the engine's free list for reuse by a later
+// NewGate. The caller must guarantee no reference to the gate survives: it
+// has fired (or will never fire), its waiters have been woken, and nobody
+// will call Wait/OnFire/Fired on it again. The MPI request pool is the
+// intended caller; misuse shows up as a waiter parked forever on a recycled
+// gate, which Engine.Run reports as a deadlock.
+func (e *Engine) FreeGate(g *Gate) {
+	g.fired = false
+	g.t = 0
+	for i := range g.waiters {
+		g.waiters[i] = nil
+	}
+	g.waiters = g.waiters[:0]
+	for i := range g.cbs {
+		g.cbs[i] = gateCB{}
+	}
+	g.cbs = g.cbs[:0]
+	e.gatePool = append(e.gatePool, g)
+}
 
 // Fired reports whether the gate has fired.
 func (g *Gate) Fired() bool { return g.fired }
@@ -32,11 +73,22 @@ func (g *Gate) Fire() {
 	}
 	g.fired = true
 	g.t = g.eng.now
+	// Detach the callback list before running it (a callback registering on
+	// this gate re-enters OnFire, which runs immediately once fired), then
+	// hand the cleared backing array back so a recycled gate keeps capacity.
 	cbs := g.cbs
 	g.cbs = nil
 	for _, cb := range cbs {
-		cb()
+		if cb.fn != nil {
+			cb.fn()
+		} else {
+			cb.afn(cb.arg)
+		}
 	}
+	for i := range cbs {
+		cbs[i] = gateCB{}
+	}
+	g.cbs = cbs[:0]
 	ws := g.waiters
 	g.waiters = nil
 	for _, w := range ws {
@@ -45,6 +97,10 @@ func (g *Gate) Fire() {
 		// gate must pull that wakeup forward to now.
 		g.eng.wakeNoLater(g.eng.now, w)
 	}
+	for i := range ws {
+		ws[i] = nil
+	}
+	g.waiters = ws[:0]
 }
 
 // OnFire registers cb to run when the gate fires. If the gate has already
@@ -55,7 +111,20 @@ func (g *Gate) OnFire(cb func()) {
 		cb()
 		return
 	}
-	g.cbs = append(g.cbs, cb)
+	g.cbs = append(g.cbs, gateCB{fn: cb})
+}
+
+// OnFireArg registers cb(arg) to run when the gate fires. Unlike OnFire,
+// passing a package-level function value plus an argument the caller already
+// owns allocates nothing: the argument travels in the callback slot rather
+// than a captured closure environment. If the gate has already fired, cb runs
+// immediately.
+func (g *Gate) OnFireArg(cb func(any), arg any) {
+	if g.fired {
+		cb(arg)
+		return
+	}
+	g.cbs = append(g.cbs, gateCB{afn: cb, arg: arg})
 }
 
 // Wait blocks p until the gate fires. Returns immediately if already fired.

@@ -167,6 +167,10 @@ type nodeRes struct {
 	shm     *sim.Resource
 
 	egressBytes int64 // inter-node payload accounting (Table IV)
+
+	// label is the node's metrics label ("node3"), cached at construction so
+	// the per-chunk metric calls in the transfer pipeline never format.
+	label string
 }
 
 // New builds a fabric on eng with the given configuration.
@@ -183,6 +187,7 @@ func New(eng *sim.Engine, cfg Config) (*Net, error) {
 			egress:  sim.NewResource(fmt.Sprintf("node%d.egress", i)),
 			ingress: sim.NewResource(fmt.Sprintf("node%d.ingress", i)),
 			shm:     sim.NewResource(fmt.Sprintf("node%d.shm", i)),
+			label:   fmt.Sprintf("node%d", i),
 		}
 	}
 	return n, nil
@@ -319,7 +324,10 @@ func (n *Net) TotalWireBytes() int64 {
 // would punch unfillable holes into the FIFO next-free-time resources and
 // serialize concurrent transfers that should interleave.
 func (n *Net) Transfer(src, dst *Endpoint, size int64) (injected, delivered *sim.Gate) {
-	return n.transfer(src, dst, size, n.Cfg.CPUCopyRate)
+	injected = n.Eng.NewGate()
+	delivered = n.Eng.NewGate()
+	n.transfer(src, dst, size, n.Cfg.CPUCopyRate, fireGateCB, injected, fireGateCB, delivered)
+	return injected, delivered
 }
 
 // TransferBulk is the zero-copy (rendezvous/DMA) path: the wire bears the
@@ -328,10 +336,35 @@ func (n *Net) Transfer(src, dst *Endpoint, size int64) (injected, delivered *sim
 // rendezvous payloads here; eager messages, which are copied through
 // bounce buffers, use Transfer.
 func (n *Net) TransferBulk(src, dst *Endpoint, size int64) (injected, delivered *sim.Gate) {
-	return n.transfer(src, dst, size, n.Cfg.DMARate)
+	injected = n.Eng.NewGate()
+	delivered = n.Eng.NewGate()
+	n.transfer(src, dst, size, n.Cfg.DMARate, fireGateCB, injected, fireGateCB, delivered)
+	return injected, delivered
 }
 
-func (n *Net) transfer(src, dst *Endpoint, size int64, cpuRate float64) (injected, delivered *sim.Gate) {
+// fireGateCB adapts the callback-based transfer core to the gate-returning
+// public API: a package-level function value, so registering it allocates no
+// closure.
+var fireGateCB = func(a any) { a.(*sim.Gate).Fire() }
+
+// TransferFn is Transfer with completion callbacks instead of gates:
+// onInjected(injArg) runs when the sender's buffer is reusable and
+// onDelivered(delArg) when the last byte reaches the receiving process.
+// Either callback may be nil. Passing package-level functions plus
+// caller-owned arguments makes the per-message fast path allocation-free,
+// which is why the MPI layer uses this form; callbacks run inline inside the
+// transfer's simulation processes and must not block.
+func (n *Net) TransferFn(src, dst *Endpoint, size int64, onInjected func(any), injArg any, onDelivered func(any), delArg any) {
+	n.transfer(src, dst, size, n.Cfg.CPUCopyRate, onInjected, injArg, onDelivered, delArg)
+}
+
+// TransferBulkFn is TransferBulk with completion callbacks instead of gates;
+// see TransferFn.
+func (n *Net) TransferBulkFn(src, dst *Endpoint, size int64, onInjected func(any), injArg any, onDelivered func(any), delArg any) {
+	n.transfer(src, dst, size, n.Cfg.DMARate, onInjected, injArg, onDelivered, delArg)
+}
+
+func (n *Net) transfer(src, dst *Endpoint, size int64, cpuRate float64, onInj func(any), injArg any, onDel func(any), delArg any) {
 	if size < 0 {
 		panic("simnet: negative transfer size")
 	}
@@ -339,8 +372,8 @@ func (n *Net) transfer(src, dst *Endpoint, size int64, cpuRate float64) (injecte
 	x := n.getXfer()
 	x.src, x.dst = src, dst
 	x.size, x.cpuRate = size, cpuRate
-	x.injected = n.Eng.NewGate()
-	x.delivered = n.Eng.NewGate()
+	x.onInj, x.injArg = onInj, injArg
+	x.onDel, x.delArg = onDel, delArg
 	// Pre-size the chunk feed: the chunk count is known at segmentation
 	// time, so the per-chunk appends never reallocate mid-transfer.
 	chunks := 1
@@ -348,23 +381,25 @@ func (n *Net) transfer(src, dst *Endpoint, size int64, cpuRate float64) (injecte
 		chunks = int((size + n.Cfg.ChunkBytes - 1) / n.Cfg.ChunkBytes)
 	}
 	x.feed.presize(chunks)
-	n.Eng.Spawn("xfer-tx", x.tx)
-	n.Eng.Spawn("xfer-rx", x.rx)
-	return x.injected, x.delivered
+	n.Eng.Spawn("xfer-tx", x.txFn)
+	n.Eng.Spawn("xfer-rx", x.rxFn)
 }
 
 // xfer is the state shared by the two halves of one transfer. It is
 // recycled through Net.xferPool: refs counts the halves still running, and
-// the last one to finish releases the object (the gates are not recycled —
-// callers hold them past the transfer's lifetime).
+// the last one to finish releases the object. txFn/rxFn are the tx/rx method
+// values bound once at construction, so spawning the halves of a recycled
+// transfer allocates nothing.
 type xfer struct {
-	n                   *Net
-	src, dst            *Endpoint
-	size                int64
-	cpuRate             float64
-	feed                chunkFeed
-	injected, delivered *sim.Gate
-	refs                int8
+	n              *Net
+	src, dst       *Endpoint
+	size           int64
+	cpuRate        float64
+	feed           chunkFeed
+	onInj, onDel   func(any)
+	injArg, delArg any
+	refs           int8
+	txFn, rxFn     func(*sim.Proc)
 }
 
 func (n *Net) getXfer() *xfer {
@@ -374,7 +409,9 @@ func (n *Net) getXfer() *xfer {
 		x.refs = 2
 		return x
 	}
-	return &xfer{n: n, refs: 2, feed: chunkFeed{sig: n.Eng.NewSignal()}}
+	x := &xfer{n: n, refs: 2, feed: chunkFeed{sig: n.Eng.NewSignal()}}
+	x.txFn, x.rxFn = x.tx, x.rx
+	return x
 }
 
 // release returns the transfer state to the pool once both halves are done.
@@ -384,17 +421,24 @@ func (x *xfer) release() {
 		return
 	}
 	x.feed.reset()
-	x.injected, x.delivered = nil, nil
+	x.onInj, x.onDel = nil, nil
+	x.injArg, x.delArg = nil, nil
 	x.n.xferPool = append(x.n.xferPool, x)
 }
 
 func (x *xfer) tx(p *sim.Proc) {
-	x.n.runTransferTx(p, x.src, x.dst, x.size, x.cpuRate, &x.feed, x.injected)
+	x.n.runTransferTx(p, x.src, x.dst, x.size, x.cpuRate, &x.feed)
+	if x.onInj != nil {
+		x.onInj(x.injArg)
+	}
 	x.release()
 }
 
 func (x *xfer) rx(p *sim.Proc) {
-	x.n.runTransferRx(p, x.src, x.dst, x.cpuRate, &x.feed, x.delivered)
+	x.n.runTransferRx(p, x.src, x.dst, x.cpuRate, &x.feed)
+	if x.onDel != nil {
+		x.onDel(x.delArg)
+	}
 	x.release()
 }
 
@@ -435,9 +479,10 @@ func (f *chunkFeed) reset() {
 // shared-memory bus) occupancy. The process paces on its CPU stage, so the
 // egress reservation happens at the chunk's true start time and chunks of
 // concurrent transfers interleave on shared resources.
-func (n *Net) runTransferTx(p *sim.Proc, src, dst *Endpoint, size int64, cpuRate float64, feed *chunkFeed, injected *sim.Gate) {
+func (n *Net) runTransferTx(p *sim.Proc, src, dst *Endpoint, size int64, cpuRate float64, feed *chunkFeed) {
 	cfg := &n.Cfg
 	intra := src.Node == dst.Node
+	srcNode := n.nodes[src.Node]
 	_, ready := src.NIC.Reserve(p.Now(), cfg.MsgOverhead)
 
 	var lastCPU float64
@@ -456,8 +501,8 @@ func (n *Net) runTransferTx(p *sim.Proc, src, dst *Endpoint, size int64, cpuRate
 		p.SleepUntil(cpuDone)
 		var cleared float64
 		if intra {
-			_, cleared = n.nodes[src.Node].shm.Reserve(p.Now(), cb/cfg.ShmBandwidth)
-			n.Metrics.Add("net.shm.bytes", fmt.Sprintf("node%d", src.Node), cb)
+			_, cleared = srcNode.shm.Reserve(p.Now(), cb/cfg.ShmBandwidth)
+			n.Metrics.Add("net.shm.bytes", srcNode.label, cb)
 		} else {
 			// Transmit the chunk; under fault injection a transmission
 			// attempt can be lost in transit, in which case the sender
@@ -466,9 +511,9 @@ func (n *Net) runTransferTx(p *sim.Proc, src, dst *Endpoint, size int64, cpuRate
 			// cost on its NIC lane, and sends the chunk again. Every
 			// attempt occupies the wire — lost bytes are real traffic.
 			for attempt := 0; ; attempt++ {
-				_, cleared = n.nodes[src.Node].egress.Reserve(p.Now(), cb/cfg.WireBandwidth)
-				n.nodes[src.Node].egressBytes += chunk
-				n.Metrics.Add("net.wire.bytes", fmt.Sprintf("node%d", src.Node), cb)
+				_, cleared = srcNode.egress.Reserve(p.Now(), cb/cfg.WireBandwidth)
+				srcNode.egressBytes += chunk
+				n.Metrics.Add("net.wire.bytes", srcNode.label, cb)
 				if n.Faults == nil {
 					break
 				}
@@ -495,16 +540,15 @@ func (n *Net) runTransferTx(p *sim.Proc, src, dst *Endpoint, size int64, cpuRate
 	if lastCPU > p.Now() {
 		p.SleepUntil(lastCPU)
 	}
-	injected.Fire()
 }
 
 // runTransferRx drives the receiver side: per chunk, the route's interior
 // links (uplink/core/downlink or torus rails, in route order) then an
 // ingress-wire occupancy starting when the chunk clears the sender's egress
 // (plus the route's leading-edge latency), and a receiver-CPU stage
-// (matching/copy) reserved exactly at the chunk's arrival. delivered fires
-// when the last chunk's CPU stage ends.
-func (n *Net) runTransferRx(p *sim.Proc, src, dst *Endpoint, cpuRate float64, feed *chunkFeed, delivered *sim.Gate) {
+// (matching/copy) reserved exactly at the chunk's arrival. It returns (and
+// the caller reports delivery) when the last chunk's CPU stage ends.
+func (n *Net) runTransferRx(p *sim.Proc, src, dst *Endpoint, cpuRate float64, feed *chunkFeed) {
 	cfg := &n.Cfg
 	intra := src.Node == dst.Node
 	var rt cachedRoute
@@ -519,7 +563,6 @@ func (n *Net) runTransferRx(p *sim.Proc, src, dst *Endpoint, cpuRate float64, fe
 				if lastDeliver > p.Now() {
 					p.SleepUntil(lastDeliver)
 				}
-				delivered.Fire()
 				return
 			}
 			p.WaitSignal(feed.sig)

@@ -447,7 +447,23 @@ func Search(opts Options) (*Table, error) {
 		}
 	}
 	warm := warmIndex(opts.Warm)
-	cells, err := runner.Map(len(cases), opts.Workers, func(i int) (Cell, error) {
+	// Issue expensive replicas first. Grid cases span orders of magnitude
+	// (a 1-rank kernel vs a 216-rank one): under FIFO order a worker that
+	// draws a monster case last keeps the whole pool waiting on it alone.
+	// Simulation cost scales with the event count — roughly ranks × bytes
+	// for the collective schedules — and warm-reused cells cost nothing,
+	// so they backfill at the end. The order affects scheduling only;
+	// results stay index-keyed, so the table is still byte-identical at
+	// any worker count.
+	costs := make([]float64, len(cases))
+	for i, cr := range cases {
+		if _, ok := warm[warmKey{kernels[cr.ki].Name(), cr.hash}]; ok {
+			continue // warm hit: no simulation, schedule last
+		}
+		k := kernels[cr.ki]
+		costs[i] = float64(k.Nodes*opts.Grid.LaunchPPN) * float64(k.Bytes)
+	}
+	cells, err := runner.MapOrder(len(cases), opts.Workers, runner.OrderByCostDesc(costs), func(i int) (Cell, error) {
 		cr := cases[i]
 		cell := Cell{Params: cr.params, Hash: cr.hash}
 		if bw, ok := warm[warmKey{kernels[cr.ki].Name(), cr.hash}]; ok {
