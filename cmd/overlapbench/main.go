@@ -6,6 +6,7 @@
 //	overlapbench [-n dim] [-csv dir] [-trace file] [-metrics] [-noise] [experiment ...]
 //	overlapbench -validate-trace file
 //	overlapbench tune [-quick] [-table file] [-cells-csv file] [-cold]
+//	overlapbench mlwork [-quick] [-csv dir]
 //	overlapbench bench-diff [-threshold pct] [-alloc-threshold pct] [-fail-on-regression] [-require-env-match] base.json current.json
 //
 // Experiments: fig3, fig4, fig5, fig6, table1, table2, table3, table4,
@@ -22,6 +23,14 @@
 // the -table tuning table; like report it only runs when named) and report
 // (all paper claims checked with verdicts); "all" (the default) runs
 // everything except report and tuned.
+//
+// The mlwork subcommand runs the ML-workload experiment (see
+// internal/workload): the data-parallel, ZeRO-sharding and
+// pipeline-parallel communication patterns on the accelerator preset,
+// blocking vs overlapped, with per-pattern winners asserted and an
+// mlwork.csv artifact under -csv. -quick shrinks the payloads to CI smoke
+// sizes. An unknown experiment name or subcommand, or trailing arguments a
+// subcommand does not take, exit non-zero with a usage message.
 //
 // The tune subcommand regenerates the -table tuning table (see
 // internal/tune): a deterministic parallel search over the overlap
@@ -59,6 +68,17 @@ import (
 	"commoverlap/internal/trace"
 	"commoverlap/internal/tune"
 )
+
+// knownExperiments is the closed set of experiment names the default path
+// accepts; anything else is a typo and must exit non-zero, not silently
+// no-op.
+var knownExperiments = map[string]bool{
+	"fig3": true, "fig4": true, "fig5": true, "fig6": true,
+	"table1": true, "table2": true, "table3": true, "table4": true, "table5": true,
+	"solver": true, "algos": true, "ablate": true, "sparse": true, "scaling": true,
+	"topo": true, "paperscale": true, "tuned": true, "noise": true, "report": true,
+	"all": true,
+}
 
 // writeFile streams write into path through a buffered writer and
 // propagates every failure — including Flush and Close errors, which is
@@ -143,6 +163,11 @@ func main() {
 	}
 	exps := flag.Args()
 	if len(exps) > 0 && exps[0] == "bench-host" {
+		if len(exps) > 1 {
+			fmt.Fprintf(os.Stderr, "bench-host: unexpected arguments %q\nusage: overlapbench bench-host [-bench-out file]\n", exps[1:])
+			exitCode = 2
+			return
+		}
 		if err := runBenchHost(*benchOut); err != nil {
 			fmt.Fprintf(os.Stderr, "bench-host: %v\n", err)
 			exitCode = 1
@@ -163,11 +188,31 @@ func main() {
 		}
 		return
 	}
+	if len(exps) > 0 && exps[0] == "mlwork" {
+		if err := runMLWork(exps[1:], *csvDir); err != nil {
+			fmt.Fprintf(os.Stderr, "mlwork: %v\n", err)
+			exitCode = 1
+		}
+		return
+	}
 	if *noiseOnly {
 		exps = append(exps, "noise")
 	}
 	if len(exps) == 0 {
 		exps = []string{"all"}
+	}
+	// Reject unknown experiment names and trailing junk up front: silently
+	// running the default path on a typo reads as "the experiment ran".
+	for _, e := range exps {
+		if !knownExperiments[e] {
+			fmt.Fprintf(os.Stderr, "overlapbench: unknown experiment or subcommand %q\n"+
+				"usage: overlapbench [flags] [experiment ...]\n"+
+				"experiments: fig3 fig4 fig5 fig6 table1 table2 table3 table4 table5\n"+
+				"             solver algos ablate sparse scaling topo paperscale tuned noise report all\n"+
+				"subcommands: tune mlwork bench-host bench-diff\n", e)
+			exitCode = 2
+			return
+		}
 	}
 	want := map[string]bool{}
 	for _, e := range exps {
@@ -437,6 +482,37 @@ func runBenchDiff(args []string) error {
 	return nil
 }
 
+// runMLWork runs the ML-workload experiment: the three training
+// communication patterns blocking vs overlapped on the accelerator preset,
+// with an mlwork.csv artifact when a CSV directory is set (the
+// subcommand's own -csv flag, defaulting to the global one).
+func runMLWork(args []string, csvDir string) error {
+	fs := flag.NewFlagSet("mlwork", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "CI smoke payload sizes instead of the full ones")
+	csv := fs.String("csv", csvDir, "directory to write mlwork.csv into")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(fs.Args()) != 0 {
+		return fmt.Errorf("unexpected arguments %q\nusage: overlapbench mlwork [-quick] [-csv dir]", fs.Args())
+	}
+	res, err := bench.MLWork(os.Stdout, *quick)
+	if err != nil {
+		return err
+	}
+	if *csv != "" {
+		if err := os.MkdirAll(*csv, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(*csv, "mlwork.csv")
+		if err := writeFile(path, res.WriteCSV); err != nil {
+			return err
+		}
+		fmt.Printf("  [wrote %s]\n", path)
+	}
+	return nil
+}
+
 // runTune regenerates a tuning table: a full or -quick grid search over the
 // default kernel set, warm-started from an existing table at -table when
 // its cells' provenance hashes still match, then persisted back to -table
@@ -449,6 +525,9 @@ func runTune(args []string, workers int) error {
 	cold := fs.Bool("cold", false, "ignore an existing table (re-measure every cell)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if len(fs.Args()) != 0 {
+		return fmt.Errorf("unexpected arguments %q\nusage: overlapbench tune [-quick] [-table file] [-cells-csv file] [-cold]", fs.Args())
 	}
 	grid := tune.FullGrid()
 	if *quick {

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLI builds the overlapbench binary once per test binary into a
+// temporary directory and returns its path.
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	exe := filepath.Join(t.TempDir(), "overlapbench")
+	cmd := exec.Command("go", "build", "-o", exe, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return exe
+}
+
+// TestCLIArgValidation is the table-driven argument-handling test: unknown
+// experiment names, unknown subcommands and trailing junk must exit
+// non-zero with a usage message instead of silently running the default
+// path, while valid invocations keep exiting zero.
+func TestCLIArgValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the CLI binary")
+	}
+	exe := buildCLI(t)
+	csvDir := t.TempDir()
+	cases := []struct {
+		name     string
+		args     []string
+		wantOK   bool
+		wantOut  string // substring of combined output
+		wantFile string // file that must exist afterwards
+	}{
+		{name: "unknown experiment", args: []string{"bogus"},
+			wantOut: `unknown experiment or subcommand "bogus"`},
+		{name: "typo of known experiment", args: []string{"fig33"},
+			wantOut: "usage: overlapbench"},
+		{name: "trailing junk after experiment", args: []string{"fig4", "extraneous"},
+			wantOut: `unknown experiment or subcommand "extraneous"`},
+		{name: "tune trailing junk", args: []string{"tune", "-quick", "junk"},
+			wantOut: "usage: overlapbench tune"},
+		{name: "mlwork trailing junk", args: []string{"mlwork", "-quick", "extra"},
+			wantOut: "usage: overlapbench mlwork"},
+		{name: "mlwork unknown flag", args: []string{"mlwork", "-frobnicate"},
+			wantOut: "flag provided but not defined"},
+		{name: "bench-host trailing junk", args: []string{"bench-host", "junk"},
+			wantOut: "usage: overlapbench bench-host"},
+		{name: "bench-diff missing paths", args: []string{"bench-diff"},
+			wantOut: "usage: overlapbench bench-diff"},
+		{name: "valid experiment", args: []string{"fig4"},
+			wantOK: true, wantOut: "fig4 regenerated"},
+		{name: "mlwork quick with csv", args: []string{"mlwork", "-quick", "-csv", csvDir},
+			wantOK: true, wantOut: "ML-workload patterns",
+			wantFile: filepath.Join(csvDir, "mlwork.csv")},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := exec.Command(exe, tc.args...).CombinedOutput()
+			if ok := err == nil; ok != tc.wantOK {
+				t.Fatalf("args %q: exit ok=%v, want %v\noutput:\n%s", tc.args, ok, tc.wantOK, out)
+			}
+			if !strings.Contains(string(out), tc.wantOut) {
+				t.Errorf("args %q: output missing %q:\n%s", tc.args, tc.wantOut, out)
+			}
+			if tc.wantFile != "" {
+				if _, err := os.Stat(tc.wantFile); err != nil {
+					t.Errorf("args %q: expected artifact: %v", tc.args, err)
+				}
+			}
+		})
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"commoverlap/internal/mat"
 	"commoverlap/internal/mesh"
 	"commoverlap/internal/mpi"
+	"commoverlap/internal/workload"
 )
 
 // Payload sizes chosen to straddle the transport's eager/rendezvous split
@@ -45,6 +46,9 @@ func Catalog() []Scenario {
 		pipelineNDup(),
 		symmSquareCube(),
 		parkedPPN(),
+		mlworkScenario("mlwork-dp", workload.DataParallel, "", rndvElems, 1),
+		mlworkScenario("mlwork-zero-hier", workload.ZeRO, "hier", rndvElems, 2),
+		mlworkScenario("mlwork-pipeline", workload.Pipeline, "", eagerElems, 2),
 	}
 }
 
@@ -387,6 +391,40 @@ func symmSquareCube() Scenario {
 			}
 			if diff := res.D3.MaxAbsDiff(mat.BlockView(wantD3, meshP, env.M.I, env.M.J)); diff > tol {
 				fail("symmsqcube: rank %d D3 block differs from oracle by %g", p.Rank(), diff)
+			}
+		},
+	}
+}
+
+// mlworkScenario drives one ML-training communication pattern from
+// internal/workload — the production RunRank path, duplicated
+// communicators, parked surplus lanes and all — through the full
+// invariant battery. The pattern bodies carry their own exact
+// small-integer oracles, so any schedule perturbation the explorer (or a
+// fault profile: a straggler here is literally a straggling worker) finds
+// that corrupts a gradient, shard or activation surfaces as a failure,
+// on top of the delivery/accounting/teardown invariants.
+func mlworkScenario(name string, pat workload.Pattern, topo string, elems, ppn int) Scenario {
+	spec := workload.Spec{
+		Pattern:   pat,
+		Nodes:     4,
+		LaunchPPN: 2,
+		PPN:       ppn,
+		NDup:      2,
+		Units:     3,
+		Elems:     elems,
+		Overlap:   true,
+		Topo:      topo,
+	}
+	ranks := spec.Nodes * spec.LaunchPPN
+	return Scenario{
+		Name: name, Ranks: ranks, Nodes: spec.Nodes, Topo: topo,
+		// Natural placement so "lane < PPN parks" maps to physical nodes
+		// the way the workload's launch convention assumes.
+		Placement: mesh.NaturalPlacement(ranks, spec.LaunchPPN),
+		Body: func(p *mpi.Proc, fail Failf) {
+			if _, err := workload.RunRank(p, spec); err != nil {
+				fail("%s: %v", name, err)
 			}
 		},
 	}

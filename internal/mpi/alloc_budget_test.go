@@ -137,3 +137,84 @@ func TestAllocBudgetAlgorithms(t *testing.T) {
 		})
 	}
 }
+
+// allocBudgetHoisted is allocBudget with per-rank buffers allocated once,
+// outside the measured loop: setup runs once per rank and returns the
+// per-iteration body, so the measured allocs/op is the collective's own
+// steady-state residue with no intentional per-op makes in the number.
+func allocBudgetHoisted(t *testing.T, size, nodes int, setup func(p *Proc) func()) float64 {
+	t.Helper()
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		eng := sim.NewEngine()
+		net, err := simnet.New(eng, simnet.DefaultConfig(nodes))
+		if err != nil {
+			b.Fatal(err)
+		}
+		w, err := NewWorld(net, size, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w.Launch(func(p *Proc) {
+			body := setup(p)
+			for i := 0; i < b.N; i++ {
+				body()
+			}
+		})
+		b.ResetTimer()
+		if err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+	})
+	return float64(res.AllocsPerOp())
+}
+
+// TestAllocBudgetExtraCollectives pins steady-state budgets for the ring
+// reduce-scatter and ring allgather — the two collectives the ZeRO-style
+// sharded-optimizer workload leans on. With buffers hoisted out of the
+// loop, both should be allocation-free in steady state: reduce-scatter's
+// running partial-sum clone and per-round scratch come from the world's
+// pow2 scratch pool, and the ring allgather works entirely inside the
+// caller's receive buffers (its measured residue is 0 allocs/op; the
+// budget leaves the same headroom as the allreduce family's).
+func TestAllocBudgetExtraCollectives(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation budgets need benchmark iterations")
+	}
+	const (
+		size  = 12
+		nodes = 4
+		blk   = 1024 // per-rank shard; the full vector is size*blk elements
+	)
+	t.Run("reduce-scatter/ring", func(t *testing.T) {
+		got := allocBudgetHoisted(t, size, nodes, func(p *Proc) func() {
+			send := make([]float64, size*blk)
+			for i := range send {
+				send[i] = float64(p.Rank() + i)
+			}
+			recv := make([]float64, blk)
+			return func() { p.World().ReduceScatter(F64(send), F64(recv), OpSum) }
+		})
+		if budget := float64(64 * raceAllocFactor); got > budget {
+			t.Errorf("reduce-scatter: %.0f allocs/op, budget %.0f", got, budget)
+		}
+		t.Logf("reduce-scatter steady state: %.0f allocs/op", got)
+	})
+	t.Run("allgather/ring", func(t *testing.T) {
+		got := allocBudgetHoisted(t, size, nodes, func(p *Proc) func() {
+			send := make([]float64, blk)
+			for i := range send {
+				send[i] = float64(p.Rank() + i)
+			}
+			bufs := make([]Buffer, size)
+			for i := range bufs {
+				bufs[i] = F64(make([]float64, blk))
+			}
+			return func() { p.World().Allgather(F64(send), bufs) }
+		})
+		if budget := float64(64 * raceAllocFactor); got > budget {
+			t.Errorf("allgather: %.0f allocs/op, budget %.0f", got, budget)
+		}
+		t.Logf("allgather steady state: %.0f allocs/op", got)
+	})
+}

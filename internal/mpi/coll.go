@@ -397,10 +397,16 @@ func (c *Comm) allreduceRecDoubling(sp *sim.Proc, buf Buffer, op Op, tagBase int
 			tmp := c.p.w.getScratch(buf, buf.Len())
 			sreq := c.isendOn(sp, partner, tagBase+round, buf)
 			c.recvOn(sp, partner, tagBase+round, tmp)
+			// My receive completing does not mean my send has captured its
+			// payload: a rendezvous send only clones buf when the partner's
+			// CTS arrives, and under latency jitter that control message can
+			// trail the partner's bulk data. Wait for the send before
+			// mutating the accumulator (same hazard, and same fix, as the
+			// Bruck schedule), or the partner combines post-combine values.
+			sreq.waitFree(sp)
 			c.chargeReduceArith(sp, buf.Bytes())
 			combineInto(buf, tmp, op)
 			c.p.w.releaseScratch(tmp)
-			sreq.waitFree(sp)
 			round++
 		}
 	}

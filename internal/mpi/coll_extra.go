@@ -166,27 +166,49 @@ func (c *Comm) alltoallRun(sp *sim.Proc, sendBufs, recvBufs []Buffer, tag int) {
 }
 
 // reduceScatterRun combines equal-shaped contributions and leaves block i
-// on rank i: implemented as recursive-halving over the padded power of two
-// using the existing fold/halving machinery, followed by redistribution of
-// the halving ranges onto the exact block boundaries via the gather tag.
-// For simplicity and predictable cost it reduces to root 0 and scatters,
-// which preserves the 2(p-1)/p n volume shape for long messages.
+// on rank i, with the ring schedule (the reduce-scatter half of the ring
+// allreduce): p-1 rounds in which every rank sends its running partial sum
+// of one block to its right neighbor and combines the block arriving from
+// the left, so after round p-2 rank r holds the complete sum of block r.
+// Per-rank volume is (p-1)/p * n with nearest-neighbor traffic only — the
+// shape ZeRO-style gradient sharding wants — and the only storage is one
+// pooled clone of the contribution plus one pooled block of receive
+// scratch, so steady-state cost is allocation-free (see alloc_budget_test).
 func (c *Comm) reduceScatterRun(sp *sim.Proc, sendBuf Buffer, recvBuf Buffer, op Op, tag int) {
 	p := c.Size()
 	elems := recvBuf.Len()
-	var full Buffer
-	if c.rank == 0 {
-		full = scratchLike(sendBuf, sendBuf.Len())
+	if p == 1 {
+		recvBuf.copyFrom(sendBuf)
+		return
 	}
-	c.reduceRun(sp, 0, sendBuf, full, op, tag)
-	var pieces []Buffer
-	if c.rank == 0 {
-		pieces = make([]Buffer, p)
-		for i := 0; i < p; i++ {
-			pieces[i] = full.Slice(i*elems, min((i+1)*elems, full.Len()))
-		}
+	w := c.p.w
+	n := sendBuf.Len()
+	// block b of the contribution; a short final block (n < p*elems) stays
+	// congruent with how the pieces were laid out by the caller.
+	block := func(b int) (lo, hi int) { return min(b*elems, n), min(b*elems+elems, n) }
+	acc := w.cloneBuf(sendBuf) // running partial sums; sendBuf is read-only
+	tmp := w.getScratch(sendBuf, elems)
+	right := (c.rank + 1) % p
+	left := (c.rank - 1 + p) % p
+	for k := 0; k < p-1; k++ {
+		sb := ((c.rank-k-1)%p + p) % p
+		rb := ((c.rank-k-2)%p + p) % p
+		slo, shi := block(sb)
+		rlo, rhi := block(rb)
+		// The sent block and the combined block are disjoint (sb != rb), so
+		// combining before the send completes cannot corrupt a rendezvous
+		// capture — the same discipline as the ring allreduce.
+		sreq := c.isendOn(sp, right, tag+k, acc.Slice(slo, shi))
+		c.recvOn(sp, left, tag+k, tmp.Slice(0, rhi-rlo))
+		keep := acc.Slice(rlo, rhi)
+		c.chargeReduceArith(sp, keep.Bytes())
+		combineInto(keep, tmp.Slice(0, rhi-rlo), op)
+		sreq.waitFree(sp)
 	}
-	c.scatterRun(sp, 0, pieces, recvBuf, tag+64)
+	mlo, mhi := block(c.rank)
+	recvBuf.copyFrom(acc.Slice(mlo, mhi))
+	w.releaseScratch(tmp)
+	w.releaseScratch(acc)
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,81 @@
+package mpi_test
+
+// Regression test for the recursive-doubling send-capture bug: the exchange
+// rounds posted isend(buf), received the partner's contribution, and
+// combined it into buf BEFORE waiting on the send. An eager send clones its
+// payload at post time, so the default switch points masked the bug — but a
+// rendezvous send only captures buf when the partner's CTS arrives, and
+// under per-chunk latency jitter that zero-byte control message can trail
+// the partner's bulk data. When it does, the partner's clone picks up
+// post-combine values and the allreduce result is wrong on some ranks.
+//
+// The Bruck schedule got the waitFree-before-combine fix when it landed;
+// recursive doubling had the identical pattern. This test forces
+// AlgRecDouble with a just-above-eager payload (so every exchange is
+// rendezvous) under jitter-only fault injection, across a seed sweep, and
+// checks the exact small-integer oracle. The race needs the two control
+// hops of my send's handshake to out-jitter the partner's handshake plus
+// its whole bulk pipeline (~26 us here), so the jitter bound is set above
+// that pipeline time; multiple seeds in the sweep reproduced the
+// corruption before the fix.
+
+import (
+	"testing"
+
+	"commoverlap/internal/faults"
+	"commoverlap/internal/mpi"
+	"commoverlap/internal/sim"
+	"commoverlap/internal/simnet"
+)
+
+func TestRecDoubleRendezvousJitter(t *testing.T) {
+	const (
+		ranks = 4
+		elems = 8500 // 68 KB > the 64 KiB eager limit: rendezvous exchanges
+	)
+	for seed := int64(1); seed <= 40; seed++ {
+		// Jitter only: stragglers, pauses and preemptions would merely
+		// stretch the schedule, and a clean wire keeps the repro independent
+		// of the retransmission layer.
+		inj, err := faults.New(faults.Config{Seed: seed, LatencyJitter: 60e-6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := sim.NewEngine()
+		net, err := simnet.New(eng, simnet.DefaultConfig(ranks))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := mpi.NewWorld(net, ranks, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.AllreduceAlg = mpi.AlgRecDouble
+		inj.Install(w)
+		bad := false
+		w.Launch(func(p *mpi.Proc) {
+			buf := make([]float64, elems)
+			for i := range buf {
+				buf[i] = float64((p.Rank() + 1) * (i%9 + 1))
+			}
+			p.World().Allreduce(mpi.F64(buf), mpi.OpSum)
+			want := float64(ranks * (ranks + 1) / 2)
+			for i := range buf {
+				if buf[i] != want*float64(i%9+1) {
+					if !bad {
+						t.Errorf("seed %d: rank %d element %d = %g, want %g",
+							seed, p.Rank(), i, buf[i], want*float64(i%9+1))
+					}
+					bad = true
+					return
+				}
+			}
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := w.CheckClean(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

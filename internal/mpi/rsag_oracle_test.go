@@ -1,0 +1,110 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"commoverlap/internal/runner"
+	"commoverlap/internal/sim"
+	"commoverlap/internal/simnet"
+)
+
+// runRSAGWorld runs one world in which every rank computes the same
+// reduction two ways — a straight allreduce, and a reduce-scatter into a
+// per-rank shard followed by an all-gather of the shards — and returns the
+// first element-level mismatch found on any rank, or nil.
+func runRSAGWorld(ranks, blk int, op Op, topo string) error {
+	nodes := (ranks + 1) / 2
+	cfg := simnet.DefaultConfig(nodes)
+	var err error
+	if cfg.Topo, err = simnet.TopoByName(topo, nodes); err != nil {
+		return err
+	}
+	eng := sim.NewEngine()
+	net, err := simnet.New(eng, cfg)
+	if err != nil {
+		return err
+	}
+	w, err := NewWorld(net, ranks, nil)
+	if err != nil {
+		return err
+	}
+	// Small integer payloads: sums stay exact in float64 regardless of
+	// association order, so any difference is a schedule bug, not roundoff.
+	val := func(r, i int) float64 { return float64((r + 1) * (i%11 + 2)) }
+	var firstErr error
+	w.Launch(func(p *Proc) {
+		n := ranks * blk
+		full := make([]float64, n)
+		for i := range full {
+			full[i] = val(p.Rank(), i)
+		}
+		ref := make([]float64, n)
+		copy(ref, full)
+		p.World().Allreduce(F64(ref), op)
+
+		shard := make([]float64, blk)
+		p.World().ReduceScatter(F64(full), F64(shard), op)
+		out := make([]float64, n)
+		bufs := make([]Buffer, ranks)
+		for r := range bufs {
+			bufs[r] = F64(out[r*blk : (r+1)*blk])
+		}
+		p.World().Allgather(F64(shard), bufs)
+
+		for i := range out {
+			if math.Float64bits(out[i]) != math.Float64bits(ref[i]) {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("rank %d elem %d: rs+ag %g, allreduce %g",
+						p.Rank(), i, out[i], ref[i])
+				}
+				return
+			}
+		}
+	})
+	if err := eng.Run(); err != nil {
+		return err
+	}
+	if err := w.CheckClean(); err != nil {
+		return err
+	}
+	return firstErr
+}
+
+// TestReduceScatterAllgatherOracle is the decomposition property test the
+// ZeRO-style workload relies on: reduce-scatter followed by all-gather over
+// the scattered shards must be element-exact equal to allreduce — the
+// identity that makes the sharded optimizer step semantically a bucketed
+// allreduce. Swept over the oracle grid of (op, shard size, ranks) on the
+// flat and hier fabrics, with shard sizes straddling the eager limit so
+// both protocols run; scenarios fan through the replica runner so
+// `go test -race` exercises concurrent independent worlds.
+func TestReduceScatterAllgatherOracle(t *testing.T) {
+	type scenario struct {
+		ranks, blk int
+		op         Op
+		topo       string
+	}
+	var scs []scenario
+	for _, ranks := range []int{2, 3, 4, 5, 8} {
+		for _, blk := range []int{0, 1, 7, 300, 9001} {
+			for _, op := range []Op{OpSum, OpMax} {
+				for _, topo := range []string{"", "hier"} {
+					scs = append(scs, scenario{ranks, blk, op, topo})
+				}
+			}
+		}
+	}
+	_, err := runner.Map(len(scs), 4, func(i int) (int, error) {
+		sc := scs[i]
+		if err := runRSAGWorld(sc.ranks, sc.blk, sc.op, sc.topo); err != nil {
+			return 0, fmt.Errorf("ranks=%d blk=%d op=%v topo=%q: %w",
+				sc.ranks, sc.blk, sc.op, sc.topo, err)
+		}
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

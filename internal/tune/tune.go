@@ -23,12 +23,17 @@ import (
 	"commoverlap/internal/runner"
 	"commoverlap/internal/sim"
 	"commoverlap/internal/simnet"
+	"commoverlap/internal/workload"
 )
 
 // Kernel describes one communication kernel to tune: a collective operation
 // of a total payload across a node count, on a named fabric topology.
+// Besides the bare collectives, the ML-workload patterns from
+// internal/workload ("dp", "zero", "pipeline") are kernels too: those
+// measure the whole overlapped training step on the accelerator preset, so
+// the table learns per-workload (N_DUP, PPN, algorithm) winners.
 type Kernel struct {
-	Op    string `json:"op"`    // "bcast", "reduce" or "allreduce"
+	Op    string `json:"op"`    // "bcast", "reduce", "allreduce", "dp", "zero" or "pipeline"
 	Bytes int64  `json:"bytes"` // total collective payload in bytes
 	Nodes int    `json:"nodes"` // participating nodes
 	// Topo names the fabric the kernel runs on (simnet.TopoByName); empty is
@@ -47,9 +52,19 @@ func (k Kernel) Name() string {
 	return name
 }
 
+// workloadOp reports whether the kernel op is an ML-workload pattern
+// measured through internal/workload rather than a bare collective.
+func workloadOp(op string) bool {
+	switch workload.Pattern(op) {
+	case workload.DataParallel, workload.ZeRO, workload.Pipeline:
+		return true
+	}
+	return false
+}
+
 func (k Kernel) validate() error {
-	if k.Op != "bcast" && k.Op != "reduce" && k.Op != "allreduce" {
-		return fmt.Errorf("tune: kernel op %q (want bcast, reduce or allreduce)", k.Op)
+	if k.Op != "bcast" && k.Op != "reduce" && k.Op != "allreduce" && !workloadOp(k.Op) {
+		return fmt.Errorf("tune: kernel op %q (want bcast, reduce, allreduce, dp, zero or pipeline)", k.Op)
 	}
 	if k.Bytes <= 0 {
 		return fmt.Errorf("tune: kernel bytes %d", k.Bytes)
@@ -222,7 +237,12 @@ func (g Grid) algsFor(op string) []string {
 		fam = mpi.BcastAlgs()
 	case "reduce":
 		fam = mpi.ReduceAlgs()
+	case "zero", "pipeline":
+		// The ring reduce-scatter/allgather pair and the p2p chain have no
+		// algorithm family to force.
+		return []string{mpi.AlgAuto}
 	default:
+		// allreduce, and the dp workload whose collective is an allreduce.
 		fam = mpi.AllreduceAlgs()
 	}
 	inFamily := func(alg string) bool {
@@ -253,6 +273,9 @@ func skipProto(op, alg string, proto Params) bool {
 	if !onlySwitchKnob(proto) || (proto.BcastLongMsg == 0 && proto.ReduceLongMsg == 0) {
 		return false
 	}
+	if op == "zero" || op == "pipeline" {
+		return true // no switch-point selection anywhere in these patterns
+	}
 	if alg != mpi.AlgAuto {
 		return true
 	}
@@ -281,6 +304,13 @@ func DefaultKernels() []Kernel {
 		{Op: "reduce", Bytes: 16 << 20, Nodes: 64},
 		{Op: "allreduce", Bytes: 4 << 20, Nodes: 8},
 		{Op: "allreduce", Bytes: 4 << 20, Nodes: 8, Topo: "hier"},
+		// The ML-workload patterns on the accelerator preset: a bucketed
+		// data-parallel gradient exchange, a ZeRO-style sharded step on the
+		// hierarchical fabric (NVLink-flavored intra-node bus behind shared
+		// uplinks), and pipeline-parallel microbatching.
+		{Op: "dp", Bytes: 8 << 20, Nodes: 8},
+		{Op: "zero", Bytes: 8 << 20, Nodes: 8, Topo: "hier"},
+		{Op: "pipeline", Bytes: 1 << 20, Nodes: 8},
 	}
 }
 
@@ -299,6 +329,9 @@ func Measure(k Kernel, p Params, launchPPN int) (float64, error) {
 	}
 	if p.PPN > launchPPN {
 		return 0, fmt.Errorf("tune: PPN %d exceeds launch PPN %d", p.PPN, launchPPN)
+	}
+	if workloadOp(k.Op) {
+		return measureWorkload(k, p, launchPPN)
 	}
 	cfg := simnet.DefaultConfig(k.Nodes)
 	topo, err := simnet.TopoByName(k.Topo, k.Nodes)
@@ -382,6 +415,50 @@ func Measure(k Kernel, p Params, launchPPN int) (float64, error) {
 	return vol / elapsed, nil
 }
 
+// workloadUnits is the fixed bucket/shard/microbatch count a workload
+// kernel is measured with; the kernel's Bytes split evenly across units.
+const workloadUnits = 8
+
+// measureWorkload runs one workload-kernel cell: the overlapped variant of
+// the pattern on the accelerator preset, with the cell's NDup/PPN/Alg and
+// protocol overrides. Goodput (pattern payload volume over the slowest
+// active rank's step time) is the measure the table optimizes.
+func measureWorkload(k Kernel, p Params, launchPPN int) (float64, error) {
+	cfg := workload.AcceleratorConfig(k.Nodes)
+	topo, err := simnet.TopoByName(k.Topo, k.Nodes)
+	if err != nil {
+		return 0, err
+	}
+	cfg.Topo = topo
+	if p.ChunkBytes != 0 {
+		cfg.ChunkBytes = p.ChunkBytes
+	}
+	if p.EagerLimit != 0 {
+		cfg.EagerLimit = p.EagerLimit
+	}
+	elems := int(k.Bytes/8) / workloadUnits
+	if elems < 1 {
+		elems = 1
+	}
+	res, err := workload.Run(workload.Spec{
+		Pattern:   workload.Pattern(k.Op),
+		Nodes:     k.Nodes,
+		LaunchPPN: launchPPN,
+		PPN:       p.PPN,
+		NDup:      p.NDup,
+		Units:     workloadUnits,
+		Elems:     elems,
+		Overlap:   true,
+		Alg:       p.Alg,
+		Topo:      k.Topo,
+		Config:    &cfg,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.Goodput(), nil
+}
+
 // cellHash fingerprints everything that determines one cell's bandwidth:
 // the table format version, the machine calibration, the kernel, the
 // parameters and the launch width. Warm starts reuse a persisted cell only
@@ -390,6 +467,11 @@ func Measure(k Kernel, p Params, launchPPN int) (float64, error) {
 // simulator is exact arithmetic over a deterministic schedule.
 func cellHash(k Kernel, p Params, launchPPN int) string {
 	cfg := simnet.DefaultConfig(k.Nodes)
+	if workloadOp(k.Op) {
+		// Workload kernels measure on the accelerator preset, so that is
+		// the calibration their cells must be invalidated against.
+		cfg = workload.AcceleratorConfig(k.Nodes)
+	}
 	cfg.Topo, _ = simnet.TopoByName(k.Topo, k.Nodes) // validated by the caller
 	h := fnv.New64a()
 	fmt.Fprintf(h, "v%d|%+v|%s/%d/%d/%s|%s|launch=%d",
