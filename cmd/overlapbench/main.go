@@ -7,6 +7,7 @@
 //	overlapbench -validate-trace file
 //	overlapbench tune [-quick] [-table file] [-cells-csv file] [-cold]
 //	overlapbench mlwork [-quick] [-csv dir]
+//	overlapbench progress [-quick] [-csv dir]
 //	overlapbench bench-diff [-threshold pct] [-alloc-threshold pct] [-fail-on-regression] [-require-env-match] base.json current.json
 //
 // Experiments: fig3, fig4, fig5, fig6, table1, table2, table3, table4,
@@ -29,8 +30,13 @@
 // pipeline-parallel communication patterns on the accelerator preset,
 // blocking vs overlapped, with per-pattern winners asserted and an
 // mlwork.csv artifact under -csv. -quick shrinks the payloads to CI smoke
-// sizes. An unknown experiment name or subcommand, or trailing arguments a
-// subcommand does not take, exit non-zero with a usage message.
+// sizes. The progress subcommand runs the progress-engine head-to-head (see
+// internal/bench ProgressBench): the asynchronous progress engine — dedicated
+// progress ranks or the per-node DMA offload engine — tuned against the
+// paper's N_DUP and PPN mechanisms at equal total rank count, with a
+// progress.csv artifact under -csv. An unknown experiment name or
+// subcommand, or trailing arguments a subcommand does not take, exit
+// non-zero with a usage message.
 //
 // The tune subcommand regenerates the -table tuning table (see
 // internal/tune): a deterministic parallel search over the overlap
@@ -100,17 +106,16 @@ func writeFile(path string, write func(w io.Writer) error) error {
 	return err
 }
 
+// main only translates realMain's status into a process exit. Every error
+// path must go through realMain's return so the -cpuprofile/-memprofile
+// defers flush before the process dies — calling os.Exit anywhere inside
+// realMain (or a closure it builds) would silently drop the profiles of
+// exactly the runs one is profiling to debug.
 func main() {
-	// Error paths that must still flush the -cpuprofile/-memprofile defers
-	// set exitCode and return instead of calling os.Exit directly; this
-	// deferred Exit is registered first, so it runs after the profile
-	// writers.
-	exitCode := 0
-	defer func() {
-		if exitCode != 0 {
-			os.Exit(exitCode)
-		}
-	}()
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	n := flag.Int("n", 0, "matrix dimension for kernel tables (0 = paper's 1hsg_70)")
 	csvDir := flag.String("csv", "", "directory to write <experiment>.csv files into")
 	tracePath := flag.String("trace", "", "write the fig6 timeline as Chrome trace JSON to this file")
@@ -129,11 +134,11 @@ func main() {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -156,44 +161,50 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", *validate, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("%s: valid Chrome trace\n", *validate)
-		return
+		return 0
 	}
 	exps := flag.Args()
 	if len(exps) > 0 && exps[0] == "bench-host" {
 		if len(exps) > 1 {
 			fmt.Fprintf(os.Stderr, "bench-host: unexpected arguments %q\nusage: overlapbench bench-host [-bench-out file]\n", exps[1:])
-			exitCode = 2
-			return
+			return 2
 		}
 		if err := runBenchHost(*benchOut); err != nil {
 			fmt.Fprintf(os.Stderr, "bench-host: %v\n", err)
-			exitCode = 1
+			return 1
 		}
-		return
+		return 0
 	}
 	if len(exps) > 0 && exps[0] == "bench-diff" {
 		if err := runBenchDiff(exps[1:]); err != nil {
 			fmt.Fprintf(os.Stderr, "bench-diff: %v\n", err)
-			exitCode = 1
+			return 1
 		}
-		return
+		return 0
 	}
 	if len(exps) > 0 && exps[0] == "tune" {
 		if err := runTune(exps[1:], *workers); err != nil {
 			fmt.Fprintf(os.Stderr, "tune: %v\n", err)
-			exitCode = 1
+			return 1
 		}
-		return
+		return 0
 	}
 	if len(exps) > 0 && exps[0] == "mlwork" {
 		if err := runMLWork(exps[1:], *csvDir); err != nil {
 			fmt.Fprintf(os.Stderr, "mlwork: %v\n", err)
-			exitCode = 1
+			return 1
 		}
-		return
+		return 0
+	}
+	if len(exps) > 0 && exps[0] == "progress" {
+		if err := runProgress(exps[1:], *csvDir); err != nil {
+			fmt.Fprintf(os.Stderr, "progress: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 	if *noiseOnly {
 		exps = append(exps, "noise")
@@ -209,9 +220,8 @@ func main() {
 				"usage: overlapbench [flags] [experiment ...]\n"+
 				"experiments: fig3 fig4 fig5 fig6 table1 table2 table3 table4 table5\n"+
 				"             solver algos ablate sparse scaling topo paperscale tuned noise report all\n"+
-				"subcommands: tune mlwork bench-host bench-diff\n", e)
-			exitCode = 2
-			return
+				"subcommands: tune mlwork progress bench-host bench-diff\n", e)
+			return 2
 		}
 	}
 	want := map[string]bool{}
@@ -222,12 +232,17 @@ func main() {
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if *showMetrics {
 		bench.Metrics = &metrics.Registry{}
 	}
+
+	// The experiment closures below record failures in code instead of
+	// exiting: realMain must return normally so the profile defers flush.
+	// A failure also stops the sweep — later experiments are skipped.
+	code := 0
 
 	csvOut := func(id string, write func(w io.Writer) error) {
 		if *csvDir == "" {
@@ -236,19 +251,24 @@ func main() {
 		path := filepath.Join(*csvDir, id+".csv")
 		if err := writeFile(path, write); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			code = 1
+			return
 		}
 		fmt.Printf("  [wrote %s]\n", path)
 	}
 
 	run := func(id string, fn func() error) {
-		if !all && !want[id] {
+		if code != 0 || (!all && !want[id]) {
 			return
 		}
 		start := time.Now()
 		if err := fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
-			os.Exit(1)
+			code = 1
+			return
+		}
+		if code != 0 { // a csvOut inside fn failed
+			return
 		}
 		fmt.Printf("  [%s regenerated in %.1fs wall time]\n\n", id, time.Since(start).Seconds())
 	}
@@ -366,17 +386,17 @@ func main() {
 	})
 	// tuned (the tuned-vs-fixed workload comparison) needs a tuning table,
 	// so like report it only fires when asked for by name.
-	if want["tuned"] {
+	if code == 0 && want["tuned"] {
 		table, err := tune.LoadTable(*tablePath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tuned: %v (generate one with `overlapbench tune -quick`)\n", err)
-			os.Exit(1)
+			return 1
 		}
 		start := time.Now()
 		res, err := bench.Tuned(os.Stdout, table)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tuned: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		csvOut("tuned", func(f io.Writer) error { return res.WriteCSV(f) })
 		fmt.Printf("  [tuned regenerated in %.1fs wall time]\n\n", time.Since(start).Seconds())
@@ -391,7 +411,7 @@ func main() {
 	})
 	// report re-runs the whole evaluation, so it only fires when asked for
 	// by name, never as part of "all".
-	if want["report"] {
+	if code == 0 && want["report"] {
 		start := time.Now()
 		_, failures, err := bench.Report(os.Stdout)
 		if err == nil && failures > 0 {
@@ -399,7 +419,7 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "report: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("  [report regenerated in %.1fs wall time]\n\n", time.Since(start).Seconds())
 	}
@@ -407,6 +427,7 @@ func main() {
 		fmt.Println("Virtual-time metrics accumulated across the runs:")
 		bench.Metrics.WriteText(os.Stdout)
 	}
+	return code
 }
 
 // runBenchHost measures the simulator's host performance (micro benchmarks
@@ -505,6 +526,39 @@ func runMLWork(args []string, csvDir string) error {
 			return err
 		}
 		path := filepath.Join(*csv, "mlwork.csv")
+		if err := writeFile(path, res.WriteCSV); err != nil {
+			return err
+		}
+		fmt.Printf("  [wrote %s]\n", path)
+	}
+	return nil
+}
+
+// runProgress runs the progress-engine head-to-head: the asynchronous
+// progress engine (dedicated progress ranks, per-node DMA offload) tuned
+// against the paper's N_DUP and PPN mechanisms at equal total rank count on
+// the Fig. 5/6 reduce regimes and the dp/zero workloads, with a
+// progress.csv artifact when a CSV directory is set (the subcommand's own
+// -csv flag, defaulting to the global one).
+func runProgress(args []string, csvDir string) error {
+	fs := flag.NewFlagSet("progress", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "CI smoke payload sizes instead of the full ones")
+	csv := fs.String("csv", csvDir, "directory to write progress.csv into")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(fs.Args()) != 0 {
+		return fmt.Errorf("unexpected arguments %q\nusage: overlapbench progress [-quick] [-csv dir]", fs.Args())
+	}
+	res, err := bench.ProgressBench(os.Stdout, *quick)
+	if err != nil {
+		return err
+	}
+	if *csv != "" {
+		if err := os.MkdirAll(*csv, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(*csv, "progress.csv")
 		if err := writeFile(path, res.WriteCSV); err != nil {
 			return err
 		}

@@ -58,6 +58,13 @@ func TestCLIArgValidation(t *testing.T) {
 		{name: "mlwork quick with csv", args: []string{"mlwork", "-quick", "-csv", csvDir},
 			wantOK: true, wantOut: "ML-workload patterns",
 			wantFile: filepath.Join(csvDir, "mlwork.csv")},
+		{name: "progress trailing junk", args: []string{"progress", "-quick", "extra"},
+			wantOut: "usage: overlapbench progress"},
+		{name: "progress unknown flag", args: []string{"progress", "-frobnicate"},
+			wantOut: "flag provided but not defined"},
+		{name: "progress quick with csv", args: []string{"progress", "-quick", "-csv", csvDir},
+			wantOK: true, wantOut: "progress/ppn",
+			wantFile: filepath.Join(csvDir, "progress.csv")},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -75,5 +82,42 @@ func TestCLIArgValidation(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestProfileFlushOnError pins the profile-flag contract: when an
+// invocation fails, -cpuprofile and -memprofile must still be flushed —
+// one profiles exactly the runs that misbehave, so an error path that
+// os.Exits past the profile writers drops the evidence. Every failure now
+// returns through realMain, whose defers stop the CPU profile and write
+// the heap profile before the process exits non-zero.
+func TestProfileFlushOnError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the CLI binary")
+	}
+	exe := buildCLI(t)
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	args := []string{
+		"-cpuprofile", cpu, "-memprofile", mem,
+		"bench-diff", filepath.Join(dir, "missing-a.json"), filepath.Join(dir, "missing-b.json"),
+	}
+	out, err := exec.Command(exe, args...).CombinedOutput()
+	if err == nil {
+		t.Fatalf("args %q: want non-zero exit for missing artifacts\noutput:\n%s", args, out)
+	}
+	if !strings.Contains(string(out), "bench-diff:") {
+		t.Errorf("args %q: output missing the bench-diff error:\n%s", args, out)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("profile not written on the error path: %v", err)
+			continue
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s: empty profile — writer not flushed before exit", p)
+		}
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"commoverlap/internal/mesh"
 	"commoverlap/internal/metrics"
 	"commoverlap/internal/mpi"
+	"commoverlap/internal/progress"
 	"commoverlap/internal/runner"
 	"commoverlap/internal/sim"
 	"commoverlap/internal/simnet"
@@ -77,8 +78,17 @@ func job(nodes, ranks int, placement []int, body func(p *mpi.Proc)) error {
 // jobWorld is job with access to the finished world, for byte accounting,
 // resource-utilization snapshots and the package metrics sink.
 func jobWorld(nodes, ranks int, placement []int, body func(p *mpi.Proc)) (*mpi.World, error) {
+	return jobWorldProg(nodes, ranks, placement, progress.Spec{}, body)
+}
+
+// jobWorldProg is jobWorld with a progress-engine spec applied to the
+// machine (DMA offload) and the world (progress-agent count). The zero spec
+// reproduces jobWorld exactly.
+func jobWorldProg(nodes, ranks int, placement []int, sp progress.Spec, body func(p *mpi.Proc)) (*mpi.World, error) {
 	eng := sim.NewEngine()
-	net, err := simnet.New(eng, simnet.DefaultConfig(nodes))
+	cfg := simnet.DefaultConfig(nodes)
+	sp.ApplyConfig(&cfg)
+	net, err := simnet.New(eng, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -86,6 +96,7 @@ func jobWorld(nodes, ranks int, placement []int, body func(p *mpi.Proc)) (*mpi.W
 	if err != nil {
 		return nil, err
 	}
+	sp.ApplyWorld(w)
 	if Metrics != nil {
 		w.SetMetrics(Metrics)
 	}
@@ -103,6 +114,9 @@ type UtilStats struct {
 	Wire    float64 // mean busy fraction of node egress wires
 	CPU     float64 // mean busy fraction of rank CPU lanes
 	NIC     float64 // mean busy fraction of rank NIC lanes
+	// Offload is the mean busy fraction of the per-node DMA offload engines
+	// (zero when the progress engine's offload mode is off).
+	Offload float64
 }
 
 // utilization classifies the world's post-run resource snapshots by lane
@@ -112,7 +126,7 @@ func utilization(w *mpi.World) UtilStats {
 	if u.Elapsed <= 0 {
 		return u
 	}
-	var nWire, nCPU, nNIC int
+	var nWire, nCPU, nNIC, nOff int
 	for _, s := range w.ResourceSnapshots() {
 		f := s.Utilization(u.Elapsed)
 		switch {
@@ -125,6 +139,9 @@ func utilization(w *mpi.World) UtilStats {
 		case strings.HasSuffix(s.Name, ".nic"):
 			u.NIC += f
 			nNIC++
+		case strings.HasSuffix(s.Name, ".offload"):
+			u.Offload += f
+			nOff++
 		}
 	}
 	if nWire > 0 {
@@ -135,6 +152,9 @@ func utilization(w *mpi.World) UtilStats {
 	}
 	if nNIC > 0 {
 		u.NIC /= float64(nNIC)
+	}
+	if nOff > 0 {
+		u.Offload /= float64(nOff)
 	}
 	return u
 }
@@ -199,6 +219,10 @@ func KernelCfg(p int, cfg core.Config) (KernelRun, error) {
 }
 
 func kernelCfg(run func(*core.Env) core.Result, dims mesh.Dims, cfg core.Config) (KernelRun, error) {
+	sp, err := progress.Parse(cfg.Progress)
+	if err != nil {
+		return KernelRun{}, err
+	}
 	ppn := cfg.PPN
 	if ppn == 0 {
 		ppn = 1
@@ -206,7 +230,36 @@ func kernelCfg(run func(*core.Env) core.Result, dims mesh.Dims, cfg core.Config)
 	nodes := mesh.NodesNeeded(dims.Size(), ppn)
 	var out KernelRun
 	out.Nodes = nodes
-	w, err := jobWorld(nodes, dims.Size(), mesh.NaturalPlacement(dims.Size(), ppn), func(pr *mpi.Proc) {
+	if agents := sp.LanesNeeded(); agents > 0 {
+		// Rank-mode progress agents ride in extra launched lanes per node:
+		// the mesh ranks split off a working communicator while the agent
+		// lanes park (their CPUs advance the siblings' chunk pipelines).
+		launchPPN := ppn + agents
+		ranks := nodes * launchPPN
+		w, err := jobWorldProg(nodes, ranks, mesh.NaturalPlacement(ranks, launchPPN), sp, func(pr *mpi.Proc) {
+			node, lane := pr.Rank()/launchPPN, pr.Rank()%launchPPN
+			color := -1
+			if lane < ppn && node*ppn+lane < dims.Size() {
+				color = 0
+			}
+			sub := pr.World().Split(color, node*ppn+lane)
+			mpi.RunActive(pr, pr.World(), sub != nil, mpi.DefaultPollInterval, func() {
+				env, err := core.NewEnvOn(pr, sub, dims, cfg)
+				if err != nil {
+					panic(err)
+				}
+				env.M.World.Barrier()
+				res := run(env)
+				accumulate(&out, res)
+			})
+		})
+		if err != nil {
+			return out, err
+		}
+		finish(&out, cfg.N, w)
+		return out, nil
+	}
+	w, err := jobWorldProg(nodes, dims.Size(), mesh.NaturalPlacement(dims.Size(), ppn), sp, func(pr *mpi.Proc) {
 		env, err := core.NewEnv(pr, dims, cfg)
 		if err != nil {
 			panic(err)

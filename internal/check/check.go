@@ -72,8 +72,15 @@ type Scenario struct {
 	// drive interior-link contention (shared uplinks, torus rails) through
 	// the same invariant battery as the flat fabric.
 	Topo string
+	// Config, when non-nil, adjusts the machine configuration before the
+	// fabric is built — e.g. enabling the per-node DMA offload engine
+	// (simnet.Config.OffloadRate) so the checker can drive the progress
+	// engine's offload charging through the invariant battery. It runs
+	// after the topology is applied.
+	Config func(cfg *simnet.Config)
 	// Setup, when non-nil, configures the world before launch — forcing a
-	// collective-algorithm family member, adjusting switch points. Unlike
+	// collective-algorithm family member, adjusting switch points, or
+	// dedicating progress-agent ranks (mpi.World.Progress). Unlike
 	// Options.Mutate it is part of the scenario itself, not a test hook.
 	Setup func(w *mpi.World)
 	Body  func(p *mpi.Proc, fail Failf)
@@ -148,6 +155,9 @@ func RunScenario(sc Scenario, opts Options) Report {
 		return Report{Violations: col.violations}
 	}
 	cfg.Topo = topo
+	if sc.Config != nil {
+		sc.Config(&cfg)
+	}
 	net, err := simnet.New(eng, cfg)
 	if err != nil {
 		col.addf("setup", "simnet: %v", err)

@@ -1,6 +1,9 @@
 package check
 
 import (
+	"math"
+	"sort"
+
 	"commoverlap/internal/mpi"
 	"commoverlap/internal/sim"
 	"commoverlap/internal/trace"
@@ -48,12 +51,17 @@ func watchResources(w *mpi.World, col *collector) {
 // asserts the accounting invariants that must hold on every schedule:
 // counters are never negative, busy time fits inside the resource's active
 // window (reservations never overlap), no reservation outlives the run,
-// and busy + idle partitions the elapsed window exactly. It returns the
-// snapshots so callers can report utilization.
+// busy + idle partitions the elapsed window exactly, and the consumer-tagged
+// ledger is consistent — with multiple consumers contending for one resource
+// (progress agents, the DMA engine, compute slices) every tagged share is
+// nonnegative, the shares sum to the tagged total, and tagged work never
+// exceeds the resource's busy time. It returns the snapshots so callers can
+// report utilization.
 func checkResourceAccounting(w *mpi.World, elapsed float64, col *collector) []sim.ResourceStats {
 	snaps := w.ResourceSnapshots()
 	for _, s := range snaps {
 		eps := 1e-9 * (1 + elapsed)
+		checkConsumerLedger(s, eps, col)
 		switch {
 		case s.BusyTime < 0 || s.QueueWait < 0 || s.PeakBacklog < 0:
 			col.addf("resource-accounting",
@@ -78,6 +86,32 @@ func checkResourceAccounting(w *mpi.World, elapsed float64, col *collector) []si
 		}
 	}
 	return snaps
+}
+
+// checkConsumerLedger audits one snapshot's consumer-tagged accounting.
+func checkConsumerLedger(s sim.ResourceStats, eps float64, col *collector) {
+	consumers := make([]string, 0, len(s.ByConsumer))
+	for c := range s.ByConsumer {
+		consumers = append(consumers, c)
+	}
+	sort.Strings(consumers)
+	var sum float64
+	for _, c := range consumers {
+		v := s.ByConsumer[c]
+		if v < 0 {
+			col.addf("resource-accounting",
+				"%s: negative tagged share %g for consumer %s", s.Name, v, c)
+		}
+		sum += v
+	}
+	if math.Abs(sum-s.TaggedBusy) > eps {
+		col.addf("resource-accounting",
+			"%s: consumer shares sum to %g, tagged busy is %g", s.Name, sum, s.TaggedBusy)
+	}
+	if s.TaggedBusy < -eps || s.TaggedBusy > s.BusyTime+eps {
+		col.addf("resource-accounting",
+			"%s: tagged busy %g outside [0, busy %g]", s.Name, s.TaggedBusy, s.BusyTime)
+	}
 }
 
 // checkDelivery analyzes the completed run's message-protocol trace for

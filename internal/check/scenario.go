@@ -7,6 +7,8 @@ import (
 	"commoverlap/internal/mat"
 	"commoverlap/internal/mesh"
 	"commoverlap/internal/mpi"
+	"commoverlap/internal/progress"
+	"commoverlap/internal/simnet"
 	"commoverlap/internal/workload"
 )
 
@@ -49,6 +51,8 @@ func Catalog() []Scenario {
 		mlworkScenario("mlwork-dp", workload.DataParallel, "", rndvElems, 1),
 		mlworkScenario("mlwork-zero-hier", workload.ZeRO, "hier", rndvElems, 2),
 		mlworkScenario("mlwork-pipeline", workload.Pipeline, "", eagerElems, 2),
+		progressRanksScenario(),
+		progressDMAScenario(),
 	}
 }
 
@@ -425,6 +429,69 @@ func mlworkScenario(name string, pat workload.Pattern, topo string, elems, ppn i
 		Body: func(p *mpi.Proc, fail Failf) {
 			if _, err := workload.RunRank(p, spec); err != nil {
 				fail("%s: %v", name, err)
+			}
+		},
+	}
+}
+
+// progressRanksScenario drives the rank-mode progress engine through the
+// full invariant battery: one lane per node becomes a progress agent, so
+// every sibling's chunk pipeline is advanced on the agent's CPU — a second
+// consumer contending for that lane on top of the agent's own software
+// costs. The data-parallel workload body supplies the exact oracle; the
+// resource-accounting invariant additionally audits the consumer-tagged
+// ledger the contention produces.
+func progressRanksScenario() Scenario {
+	spec := workload.Spec{
+		Pattern:   workload.DataParallel,
+		Nodes:     4,
+		LaunchPPN: 2,
+		PPN:       1, // lane 0 works, lane 1 is the node's progress agent
+		NDup:      2,
+		Units:     3,
+		Elems:     rndvElems,
+		Overlap:   true,
+		Progress:  "rank1",
+	}
+	ranks := spec.Nodes * spec.LaunchPPN
+	return Scenario{
+		Name: "progress-ranks", Ranks: ranks, Nodes: spec.Nodes,
+		Placement: mesh.NaturalPlacement(ranks, spec.LaunchPPN),
+		Setup:     func(w *mpi.World) { progress.MustParse(spec.Progress).ApplyWorld(w) },
+		Body: func(p *mpi.Proc, fail Failf) {
+			if _, err := workload.RunRank(p, spec); err != nil {
+				fail("progress-ranks: %v", err)
+			}
+		},
+	}
+}
+
+// progressDMAScenario drives the DMA-offload progress engine through the
+// full invariant battery: chunk forwarding is charged to each node's
+// offload engine instead of the posting rank's NIC lane, so the ZeRO
+// workload's reduce-scatter/all-gather traffic and its optimizer compute
+// contend through a resource the seed model does not have. The workload
+// oracle plus the consumer-ledger audit must hold on every schedule.
+func progressDMAScenario() Scenario {
+	spec := workload.Spec{
+		Pattern:   workload.ZeRO,
+		Nodes:     4,
+		LaunchPPN: 2,
+		PPN:       2,
+		NDup:      2,
+		Units:     3,
+		Elems:     rndvElems,
+		Overlap:   true,
+		Progress:  "dma",
+	}
+	ranks := spec.Nodes * spec.LaunchPPN
+	return Scenario{
+		Name: "progress-dma", Ranks: ranks, Nodes: spec.Nodes,
+		Placement: mesh.NaturalPlacement(ranks, spec.LaunchPPN),
+		Config:    func(cfg *simnet.Config) { progress.MustParse(spec.Progress).ApplyConfig(cfg) },
+		Body: func(p *mpi.Proc, fail Failf) {
+			if _, err := workload.RunRank(p, spec); err != nil {
+				fail("progress-dma: %v", err)
 			}
 		},
 	}

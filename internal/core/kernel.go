@@ -13,6 +13,7 @@ import (
 	"commoverlap/internal/mat"
 	"commoverlap/internal/mesh"
 	"commoverlap/internal/mpi"
+	"commoverlap/internal/progress"
 )
 
 // Phase names one communication phase of the optimized SymmSquareCube
@@ -63,6 +64,13 @@ type Config struct {
 	// moment it completes); when the widths differ the handoff falls back
 	// to a full wait between the phases.
 	PhaseNDup map[Phase]int
+	// Progress selects the asynchronous progress engine for the job the
+	// kernel runs in (progress.Parse labels: "" off, "rankN" agents per
+	// node, "dma" the per-node offload engine). The kernel itself only
+	// validates the label; the launching harness (bench.KernelCfg) builds
+	// the machine and world accordingly — rank-mode agents ride in extra
+	// launched lanes that park while the mesh ranks work.
+	Progress string
 }
 
 func (c *Config) validate() error {
@@ -79,6 +87,9 @@ func (c *Config) validate() error {
 		if nd <= 0 {
 			return fmt.Errorf("core: PhaseNDup[%s] = %d", ph, nd)
 		}
+	}
+	if _, err := progress.Parse(c.Progress); err != nil {
+		return fmt.Errorf("core: %w", err)
 	}
 	return nil
 }

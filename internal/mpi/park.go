@@ -8,6 +8,12 @@ package mpi
 // usleep every poll seconds (the paper uses 10 ms); active ranks run body
 // and then post the Ibarrier, which releases everyone into the next phase.
 // All ranks of comm must call RunActive.
+//
+// Under the progress-rank engine (World.Progress > 0) parked ranks complete
+// eagerly instead: the node's progress agents are already advancing every
+// sibling pipeline, so the barrier's completion wakes a parked rank at its
+// fire time rather than at the next poll tick. Park/wake accounting is
+// unchanged, so CheckClean and ParkStats stay mode-independent.
 func RunActive(p *Proc, comm *Comm, active bool, poll float64, body func()) {
 	if poll <= 0 {
 		poll = DefaultPollInterval
@@ -15,7 +21,11 @@ func RunActive(p *Proc, comm *Comm, active bool, poll float64, body func()) {
 	if !active {
 		p.w.parks++
 		p.w.Metrics.Inc("mpi.parks", "")
-		p.PollWait(comm.Ibarrier(), poll)
+		if p.w.Progress > 0 {
+			comm.Ibarrier().Wait()
+		} else {
+			p.PollWait(comm.Ibarrier(), poll)
+		}
 		p.w.wakes++
 		p.w.Metrics.Inc("mpi.wakes", "")
 		return

@@ -66,6 +66,19 @@ type World struct {
 	// and admission-order invariants from outside the package.
 	Probe func(trace.MsgEvent)
 
+	// Progress enables the progress-rank engine: that many ranks per node
+	// (the highest-numbered ranks on each node, analogous to the PPN
+	// convention of parking the highest lanes) become dedicated progress
+	// agents. The remaining ranks' per-chunk transfer work is booked
+	// round-robin across the agents' CPU resources — sibling pipelines
+	// advance without the owner polling, and parked ranks wake eagerly on
+	// completion instead of at the next poll tick. Set it before Launch; the
+	// zero value keeps the seed model (each rank progresses its own NIC
+	// lane). When the fabric's DMA-offload engine (Config.OffloadRate) is
+	// also enabled, the progress-rank wiring takes precedence on the ranks
+	// it covers.
+	Progress int
+
 	// MaxPollTime bounds how long PollWait will poll one request, in
 	// virtual seconds. A parked rank whose wake-up never comes would
 	// otherwise spin forever in virtual time (the engine never runs out of
@@ -134,6 +147,8 @@ type rankState struct {
 	sendSeq map[pairKey]int64 // next seq to assign, per (ctx, dst world rank)
 	recvSeq map[pairKey]int64 // next seq to admit, per (ctx, src comm rank)
 	held    []*inflight       // envelopes that arrived ahead of their turn
+
+	isProg bool // this rank serves as a progress agent for its node
 }
 
 // NewWorld creates size ranks placed on nodes according to placement
@@ -360,9 +375,54 @@ type Proc struct {
 	world *Comm
 }
 
+// wireProgressLanes elects the highest-numbered Progress ranks on each node
+// as progress agents and redirects every sibling endpoint's chunk-pipeline
+// work onto the agents' CPU resources (round-robin per chunk, consumer-
+// tagged per owner). The agent count is clamped so each node keeps at least
+// one non-agent rank.
+func (w *World) wireProgressLanes() {
+	byNode := make(map[int][]*rankState)
+	var nodes []int
+	for _, st := range w.ranks {
+		if len(byNode[st.ep.Node]) == 0 {
+			nodes = append(nodes, st.ep.Node)
+		}
+		byNode[st.ep.Node] = append(byNode[st.ep.Node], st)
+	}
+	sort.Ints(nodes)
+	for _, node := range nodes {
+		sts := byNode[node]
+		nprog := w.Progress
+		if nprog > len(sts)-1 {
+			nprog = len(sts) - 1
+		}
+		if nprog <= 0 {
+			continue
+		}
+		lanes := make([]*sim.Resource, 0, nprog)
+		for _, st := range sts[len(sts)-nprog:] {
+			st.isProg = true
+			lanes = append(lanes, st.ep.CPU)
+		}
+		for _, st := range sts[:len(sts)-nprog] {
+			st.ep.SetProgressLanes(lanes, 0)
+		}
+	}
+}
+
+// IsProgressRank reports whether a world rank serves as a progress agent
+// (only possible after Launch on a World with Progress > 0).
+func (w *World) IsProgressRank(rank int) bool { return w.ranks[rank].isProg }
+
 // Launch spawns one simulation process per rank running body. Call
 // Engine.Run afterwards to execute the job.
 func (w *World) Launch(body func(p *Proc)) {
+	if w.Progress < 0 {
+		panic(fmt.Sprintf("mpi: World.Progress = %d, need >= 0", w.Progress))
+	}
+	if w.Progress > 0 {
+		w.wireProgressLanes()
+	}
 	if w.idGroup == nil {
 		w.idGroup = identityGroup(len(w.ranks))
 	}
@@ -388,6 +448,10 @@ func (p *Proc) Now() float64 { return p.sp.Now() }
 
 // Node returns the node this rank lives on.
 func (p *Proc) Node() int { return p.st.ep.Node }
+
+// IsProgressRank reports whether this rank serves as a progress agent for
+// its node's sibling ranks.
+func (p *Proc) IsProgressRank() bool { return p.st.isProg }
 
 // World returns the communicator spanning all ranks.
 func (p *Proc) World() *Comm { return p.world }

@@ -39,6 +39,7 @@ type Resource struct {
 //	BusyTime >= 0, QueueWait >= 0, PeakBacklog >= 0
 //	BusyTime <= LastDone - FirstStart   (reservations never overlap)
 //	BusyTime + IdleTime(elapsed) == elapsed for any elapsed >= LastDone
+//	sum(ByConsumer) == TaggedBusy <= BusyTime (tagged work is a subset)
 type ResourceStats struct {
 	Name         string
 	Reservations int64   // total Reserve calls (including zero-duration ones)
@@ -47,6 +48,10 @@ type ResourceStats struct {
 	PeakBacklog  float64 // max seconds of already-queued work found at a Reserve call
 	FirstStart   float64 // start time of the first reservation (0 if none)
 	LastDone     float64 // completion time of the latest-finishing reservation
+	TaggedBusy   float64 // cumulative duration booked through ReserveAs
+	// ByConsumer splits TaggedBusy by consumer tag. It is nil until the
+	// first ReserveAs call, so untagged-only resources keep a flat struct.
+	ByConsumer map[string]float64
 }
 
 // IdleTime reports how long the resource sat unreserved within a window of
@@ -120,6 +125,25 @@ func (r *Resource) Reserve(ready, dur float64) (start, done float64) {
 	return start, done
 }
 
+// ReserveAs books the resource like Reserve but attributes the booked
+// duration to a named consumer. A resource serves one reservation at a
+// time regardless of who asked — ReserveAs only adds attribution, so
+// multiple consumers (a rank's own proc, sibling ranks' chunk pipelines
+// advanced by a progress agent, a node's offload engine clients) contend
+// for the same serial facility and the checker can prove the per-consumer
+// shares sum back to the total busy time.
+func (r *Resource) ReserveAs(consumer string, ready, dur float64) (start, done float64) {
+	before := r.stats.BusyTime
+	start, done = r.Reserve(ready, dur)
+	booked := r.stats.BusyTime - before // post-Perturb duration actually billed
+	r.stats.TaggedBusy += booked
+	if r.stats.ByConsumer == nil {
+		r.stats.ByConsumer = make(map[string]float64)
+	}
+	r.stats.ByConsumer[consumer] += booked
+	return start, done
+}
+
 // NextFree reports the earliest time a new reservation could start.
 func (r *Resource) NextFree() float64 { return r.free }
 
@@ -131,6 +155,12 @@ func (r *Resource) BusyTime() float64 { return r.stats.BusyTime }
 func (r *Resource) Snapshot() ResourceStats {
 	s := r.stats
 	s.Name = r.Name
+	if r.stats.ByConsumer != nil {
+		s.ByConsumer = make(map[string]float64, len(r.stats.ByConsumer))
+		for k, v := range r.stats.ByConsumer {
+			s.ByConsumer[k] = v
+		}
+	}
 	return s
 }
 

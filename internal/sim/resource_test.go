@@ -82,6 +82,67 @@ func TestResourceSnapshotNeverNegative(t *testing.T) {
 	}
 }
 
+func TestResourceConsumerAccounting(t *testing.T) {
+	r := NewResource("cpu")
+
+	// Untagged and tagged reservations interleave; the tagged ones contend
+	// FIFO with everything else (same next-free chain).
+	r.Reserve(0, 2)                    // [0,2) untagged
+	s, d := r.ReserveAs("rank1", 1, 3) // queued behind it -> [2,5)
+	if s != 2 || d != 5 {
+		t.Fatalf("tagged reservation [%g,%g), want [2,5)", s, d)
+	}
+	r.ReserveAs("rank2", 5, 1) // [5,6)
+	r.ReserveAs("rank1", 6, 4) // [6,10)
+
+	st := r.Snapshot()
+	if st.BusyTime != 10 {
+		t.Errorf("busy = %g, want 10", st.BusyTime)
+	}
+	if st.TaggedBusy != 8 {
+		t.Errorf("tagged busy = %g, want 8", st.TaggedBusy)
+	}
+	if got := st.ByConsumer["rank1"]; got != 7 {
+		t.Errorf("rank1 share = %g, want 7", got)
+	}
+	if got := st.ByConsumer["rank2"]; got != 1 {
+		t.Errorf("rank2 share = %g, want 1", got)
+	}
+	var sum float64
+	for _, v := range st.ByConsumer {
+		sum += v
+	}
+	if math.Abs(sum-st.TaggedBusy) > 1e-12 {
+		t.Errorf("consumer shares sum %g != tagged busy %g", sum, st.TaggedBusy)
+	}
+	if st.TaggedBusy > st.BusyTime {
+		t.Errorf("tagged busy %g exceeds total busy %g", st.TaggedBusy, st.BusyTime)
+	}
+
+	// The snapshot's consumer map is detached from later reservations.
+	r.ReserveAs("rank2", 10, 5)
+	if st.ByConsumer["rank2"] != 1 || st.TaggedBusy != 8 {
+		t.Errorf("snapshot mutated by later tagged reservation: %+v", st)
+	}
+
+	// Perturbed durations bill the booked (stretched) time to the consumer,
+	// keeping busy/idle partitioning exact under fault injection.
+	p := NewResource("cpu2")
+	p.Perturb = func(start, dur float64) float64 { return 2 * dur }
+	p.ReserveAs("slow", 0, 3)
+	ps := p.Snapshot()
+	if ps.ByConsumer["slow"] != 6 || ps.TaggedBusy != 6 || ps.BusyTime != 6 {
+		t.Errorf("perturbed consumer accounting: %+v", ps)
+	}
+
+	// Untagged-only resources never allocate the map.
+	q := NewResource("plain")
+	q.Reserve(0, 1)
+	if qs := q.Snapshot(); qs.ByConsumer != nil || qs.TaggedBusy != 0 {
+		t.Errorf("untagged resource grew consumer state: %+v", qs)
+	}
+}
+
 func TestResourceResetClearsStats(t *testing.T) {
 	r := NewResource("nic")
 	r.Reserve(0, 4)

@@ -64,11 +64,26 @@ type Config struct {
 	StageRate  float64 // bytes/s for staging/packing a nonblocking collective
 	NodeFlops  float64 // dense-GEMM flop/s of a whole node (all cores)
 
+	// OffloadRate enables the DMA-offload progress engine: a per-node
+	// offload resource (the NIC's DMA engine, PCIe-attached) that absorbs
+	// the per-chunk forwarding work all of the node's endpoints would
+	// otherwise pay on their private NIC lanes, at this many bytes/s.
+	// Zero (the default) disables the engine and leaves the seed model's
+	// schedule untouched.
+	OffloadRate float64
+
 	// Topo selects the fabric topology. The zero value is the flat fabric
 	// (every pair of nodes one wire hop apart, optionally through the shared
 	// core); see TopoSpec for the hierarchical and torus variants.
 	Topo TopoSpec
 }
+
+// DefaultOffloadRate is the byte rate the DMA-offload engine runs at when a
+// caller enables it without choosing one: a PCIe-generation-matched 32 GB/s,
+// comfortably above the wire's 12.4 GB/s in each direction, so the shared
+// engine can keep a node's full-duplex wire saturated but still serializes
+// when many endpoints burst at once.
+const DefaultOffloadRate = 32e9
 
 // DefaultConfig returns the Stampede2-like calibration used by the
 // reproduction benchmarks. See DESIGN.md §5 for the calibration targets.
@@ -107,6 +122,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("simnet: CoreBandwidth must be >= 0 (0 = non-blocking)")
 	case c.ReduceRate <= 0 || c.StageRate <= 0 || c.NodeFlops <= 0:
 		return fmt.Errorf("simnet: compute rates must be positive")
+	case c.OffloadRate < 0:
+		return fmt.Errorf("simnet: OffloadRate must be >= 0 (0 = no offload engine)")
 	}
 	return c.Topo.validate(c.Nodes)
 }
@@ -165,6 +182,10 @@ type nodeRes struct {
 	egress  *sim.Resource
 	ingress *sim.Resource
 	shm     *sim.Resource
+	// offload is the node's DMA engine, created only when Config.OffloadRate
+	// is positive; endpoints on the node charge chunk forwarding to it
+	// instead of their private NIC lanes.
+	offload *sim.Resource
 
 	egressBytes int64 // inter-node payload accounting (Table IV)
 
@@ -189,6 +210,9 @@ func New(eng *sim.Engine, cfg Config) (*Net, error) {
 			shm:     sim.NewResource(fmt.Sprintf("node%d.shm", i)),
 			label:   fmt.Sprintf("node%d", i),
 		}
+		if cfg.OffloadRate > 0 {
+			n.nodes[i].offload = sim.NewResource(fmt.Sprintf("node%d.offload", i))
+		}
 	}
 	return n, nil
 }
@@ -208,6 +232,53 @@ type Endpoint struct {
 	// property (hardware DMA / progress engine) that makes overlapping
 	// communication with communication profitable at all.
 	NIC *sim.Resource
+
+	// prog, when non-empty, is the endpoint's progress-lane group: the
+	// per-chunk forwarding work that would occupy NIC is instead booked
+	// round-robin across these resources (a progress rank's CPU, or the
+	// node's DMA offload engine), tagged with this endpoint's identity so
+	// per-consumer accounting survives the redirect. progRate, when
+	// positive, replaces the transfer's per-byte software rate (a hardware
+	// engine moves bytes at its own speed); zero keeps the caller's rate
+	// (software progress by another rank's CPU is no faster than one's own).
+	prog     []*sim.Resource
+	progRate float64
+	progIdx  int
+	progTag  string
+}
+
+// SetProgressLanes installs (or, with an empty group, removes) the
+// endpoint's progress-lane group. The MPI layer calls this when wiring
+// progress ranks; the DMA-offload engine installs itself at NewEndpoint.
+// Chunks of one transfer still chain FIFO through the chunk feed, so
+// redirecting never reorders a message — it only changes which serial
+// facility is billed, and at what byte rate.
+func (ep *Endpoint) SetProgressLanes(lanes []*sim.Resource, byteRate float64) {
+	ep.prog = lanes
+	ep.progRate = byteRate
+	ep.progIdx = 0
+}
+
+// ProgressLanes reports the endpoint's current progress-lane group and byte
+// rate (nil, 0 when chunk forwarding runs on the endpoint's own NIC lane).
+func (ep *Endpoint) ProgressLanes() ([]*sim.Resource, float64) { return ep.prog, ep.progRate }
+
+// nicStage books one chunk-pipeline stage (overhead seconds plus bytes at
+// rate) for the endpoint: on its private NIC lane by default, or on the
+// next progress lane in round-robin order when a group is installed.
+func (ep *Endpoint) nicStage(ready, overhead, bytes, rate float64) (start, done float64) {
+	if len(ep.prog) == 0 {
+		return ep.NIC.Reserve(ready, overhead+bytes/rate)
+	}
+	if ep.progRate > 0 {
+		rate = ep.progRate
+	}
+	r := ep.prog[ep.progIdx]
+	ep.progIdx++
+	if ep.progIdx == len(ep.prog) {
+		ep.progIdx = 0
+	}
+	return r.ReserveAs(ep.progTag, ready, overhead+bytes/rate)
 }
 
 // NewEndpoint attaches a process to node (0-based).
@@ -220,6 +291,10 @@ func (n *Net) NewEndpoint(node int) *Endpoint {
 		Node: node,
 		CPU:  sim.NewResource(fmt.Sprintf("ep%d.cpu", n.nep)),
 		NIC:  sim.NewResource(fmt.Sprintf("ep%d.nic", n.nep)),
+	}
+	ep.progTag = ep.NIC.Name
+	if nd := n.nodes[node]; nd.offload != nil {
+		ep.SetProgressLanes([]*sim.Resource{nd.offload}, n.Cfg.OffloadRate)
 	}
 	n.nep++
 	return ep
@@ -238,6 +313,9 @@ func (n *Net) EachResource(f func(*sim.Resource)) {
 		f(nd.egress)
 		f(nd.ingress)
 		f(nd.shm)
+		if nd.offload != nil {
+			f(nd.offload)
+		}
 	}
 }
 
@@ -483,7 +561,7 @@ func (n *Net) runTransferTx(p *sim.Proc, src, dst *Endpoint, size int64, cpuRate
 	cfg := &n.Cfg
 	intra := src.Node == dst.Node
 	srcNode := n.nodes[src.Node]
-	_, ready := src.NIC.Reserve(p.Now(), cfg.MsgOverhead)
+	_, ready := src.nicStage(p.Now(), cfg.MsgOverhead, 0, 1)
 
 	var lastCPU float64
 	remaining := size
@@ -497,7 +575,7 @@ func (n *Net) runTransferTx(p *sim.Proc, src, dst *Endpoint, size int64, cpuRate
 		remaining -= chunk
 		cb := float64(chunk)
 
-		_, cpuDone := src.NIC.Reserve(ready, cfg.SendOverhead+cb/cpuRate)
+		_, cpuDone := src.nicStage(ready, cfg.SendOverhead, cb, cpuRate)
 		p.SleepUntil(cpuDone)
 		var cleared float64
 		if intra {
@@ -527,7 +605,7 @@ func (n *Net) runTransferTx(p *sim.Proc, src, dst *Endpoint, size int64, cpuRate
 				}
 				p.Sleep(timeout)
 				n.Metrics.Inc("net.chunks.retrans", "")
-				_, reDone := src.NIC.Reserve(p.Now(), cfg.SendOverhead)
+				_, reDone := src.nicStage(p.Now(), cfg.SendOverhead, 0, 1)
 				p.SleepUntil(reDone)
 			}
 		}
@@ -609,21 +687,27 @@ func (n *Net) runTransferRx(p *sim.Proc, src, dst *Endpoint, cpuRate float64, fe
 			}
 			arrive = inDone
 		}
-		_, recvDone := dst.NIC.Reserve(arrive, cfg.RecvOverhead+cb/cpuRate)
+		_, recvDone := dst.nicStage(arrive, cfg.RecvOverhead, cb, cpuRate)
 		n.Metrics.AddGauge("net.chunks.inflight", "", -1)
 		lastDeliver = recvDone
 	}
 }
 
 // Compute charges flops of dense-matrix arithmetic to the calling process,
-// assuming ppnActive processes share the node's cores equally. The caller
-// blocks for the virtual duration.
+// assuming ppnActive processes share the node's cores equally. The work is a
+// tagged reservation on the endpoint's CPU resource, so compute slices
+// contend FIFO with the process's other CPU consumers (collective staging
+// and reduction arithmetic posted by nonblocking children, sibling chunk
+// pipelines when the rank serves as a progress agent) instead of silently
+// owning the CPU; on an otherwise-idle CPU the timing is identical to a
+// plain sleep. The caller blocks until the reservation completes.
 func (n *Net) Compute(p *sim.Proc, ep *Endpoint, flops float64, ppnActive int) {
 	if ppnActive < 1 {
 		ppnActive = 1
 	}
 	rate := n.Cfg.NodeFlops / float64(ppnActive)
-	p.Sleep(flops / rate)
+	_, done := ep.CPU.ReserveAs("compute", p.Now(), flops/rate)
+	p.SleepUntil(done)
 }
 
 // ChargeCPU occupies the endpoint's CPU for dur seconds starting now and

@@ -11,7 +11,8 @@ import (
 
 // TableVersion is the persisted table format version; it participates in
 // every cell's provenance hash, so bumping it invalidates warm starts.
-const TableVersion = 1
+// Version 2 added the progress-engine axis (Params.Progress).
+const TableVersion = 2
 
 // Cell is one measured grid point.
 type Cell struct {
@@ -148,7 +149,7 @@ func (t *Table) Nearest(op string, bytes int64, nodes int, topo string) *Entry {
 
 // WriteCSV emits every cell as one CSV row.
 func (t *Table) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "kernel,op,bytes,nodes,topo,ndup,ppn,alg,bcast_long_msg,reduce_long_msg,chunk_bytes,eager_limit,bw_mbs,best"); err != nil {
+	if _, err := fmt.Fprintln(w, "kernel,op,bytes,nodes,topo,ndup,ppn,alg,progress,bcast_long_msg,reduce_long_msg,chunk_bytes,eager_limit,bw_mbs,best"); err != nil {
 		return err
 	}
 	for _, e := range t.Entries {
@@ -165,9 +166,13 @@ func (t *Table) WriteCSV(w io.Writer) error {
 			if alg == "" {
 				alg = "auto"
 			}
-			if _, err := fmt.Fprintf(w, "%s,%s,%d,%d,%s,%d,%d,%s,%d,%d,%d,%d,%.3f,%d\n",
+			prog := c.Params.Progress
+			if prog == "" {
+				prog = "off"
+			}
+			if _, err := fmt.Fprintf(w, "%s,%s,%d,%d,%s,%d,%d,%s,%s,%d,%d,%d,%d,%.3f,%d\n",
 				e.Kernel.Name(), e.Kernel.Op, e.Kernel.Bytes, e.Kernel.Nodes, topo,
-				c.Params.NDup, c.Params.PPN, alg, c.Params.BcastLongMsg, c.Params.ReduceLongMsg,
+				c.Params.NDup, c.Params.PPN, alg, prog, c.Params.BcastLongMsg, c.Params.ReduceLongMsg,
 				c.Params.ChunkBytes, c.Params.EagerLimit, c.BW/1e6, best); err != nil {
 				return err
 			}

@@ -8,12 +8,12 @@ import (
 	"commoverlap/internal/mpi"
 )
 
-// TestLookupMissingAxis: tables persisted before the topology and algorithm
-// axes existed decode with those fields at their zero values ("" = flat
-// fabric, auto algorithm) and stay addressable by both Lookup and Nearest.
+// TestLookupMissingAxis: tables that omit the optional axis fields decode
+// with those fields at their zero values ("" = flat fabric, auto algorithm,
+// progress engine off) and stay addressable by both Lookup and Nearest.
 func TestLookupMissingAxis(t *testing.T) {
 	const oldSchema = `{
-  "version": 1,
+  "version": 2,
   "grid": {"name": "quick", "ndups": [1], "ppns": [1], "launch_ppn": 1,
            "protocols": [{"ndup": 0, "ppn": 0}]},
   "seed": 0, "config_hash": "x", "go_version": "go0",

@@ -20,6 +20,7 @@ import (
 
 	"commoverlap/internal/mesh"
 	"commoverlap/internal/mpi"
+	"commoverlap/internal/progress"
 	"commoverlap/internal/runner"
 	"commoverlap/internal/sim"
 	"commoverlap/internal/simnet"
@@ -109,11 +110,19 @@ type Params struct {
 	// Alg forces one member of the kernel operation's collective-algorithm
 	// family (mpi.AlgRing, ...); empty keeps switch-point auto selection.
 	Alg string `json:"alg,omitempty"`
+	// Progress selects the asynchronous progress engine (progress.Parse
+	// labels: "" = off, "rankN" = N progress agents per node taken out of
+	// the launched lanes, "dma" = per-node offload engine). The third
+	// overlap mechanism, tuned head-to-head against NDup and PPN.
+	Progress string `json:"progress,omitempty"`
 }
 
 func (p Params) validate() error {
 	if p.NDup <= 0 || p.PPN <= 0 {
 		return fmt.Errorf("tune: params ndup=%d ppn=%d", p.NDup, p.PPN)
+	}
+	if _, err := progress.Parse(p.Progress); err != nil {
+		return fmt.Errorf("tune: params progress: %w", err)
 	}
 	return nil
 }
@@ -121,8 +130,8 @@ func (p Params) validate() error {
 // label is the canonical cell key used for hashing, warm-start matching and
 // CSV output.
 func (p Params) label() string {
-	return fmt.Sprintf("ndup=%d,ppn=%d,bcastlong=%d,reducelong=%d,chunk=%d,eager=%d,alg=%s",
-		p.NDup, p.PPN, p.BcastLongMsg, p.ReduceLongMsg, p.ChunkBytes, p.EagerLimit, p.Alg)
+	return fmt.Sprintf("ndup=%d,ppn=%d,bcastlong=%d,reducelong=%d,chunk=%d,eager=%d,alg=%s,prog=%s",
+		p.NDup, p.PPN, p.BcastLongMsg, p.ReduceLongMsg, p.ChunkBytes, p.EagerLimit, p.Alg, p.Progress)
 }
 
 // Grid is the parameter grid a search sweeps: the cross product of NDups,
@@ -145,6 +154,13 @@ type Grid struct {
 	// the kernel operation's family are skipped for that kernel, so one list
 	// can mix bcast, reduce and allreduce algorithms.
 	Algs []string `json:"algs,omitempty"`
+	// Progresses are the progress-engine variants to cross in (progress
+	// labels; include "" for the engine-off baseline). Nil means engine off
+	// only. The axis is orthogonal to algorithm choice, so engine-on
+	// variants are crossed with the auto algorithm only, which bounds the
+	// sweep; rankN variants additionally skip PPNs that leave no launched
+	// lane for the agents.
+	Progresses []string `json:"progresses,omitempty"`
 }
 
 // QuickGrid is the coarse grid behind `overlapbench tune -quick` and the CI
@@ -159,6 +175,9 @@ func QuickGrid() Grid {
 		// Auto plus the two allreduce schedules whose winner flips between
 		// flat and hierarchical fabrics; bcast/reduce kernels sweep auto only.
 		Algs: []string{mpi.AlgAuto, mpi.AlgRing, mpi.AlgShift},
+		// Engine off, one progress agent per node, and the DMA engine: the
+		// three-mechanism head-to-head the progress experiment reports.
+		Progresses: []string{"", "rank1", "dma"},
 	}
 }
 
@@ -181,6 +200,7 @@ func FullGrid() Grid {
 		},
 		Algs: append([]string{mpi.AlgAuto},
 			append(mpi.BcastAlgs(), append(mpi.ReduceAlgs(), mpi.AllreduceAlgs()...)...)...),
+		Progresses: []string{"", "rank1", "rank2", "dma"},
 	}
 }
 
@@ -196,32 +216,55 @@ func (g Grid) validate() error {
 			return fmt.Errorf("tune: grid PPN %d outside 1..%d", ppn, g.LaunchPPN)
 		}
 	}
+	for _, prog := range g.Progresses {
+		if _, err := progress.Parse(prog); err != nil {
+			return fmt.Errorf("tune: grid progress axis: %w", err)
+		}
+	}
 	return nil
 }
 
 // cellsFor returns the grid's parameter cells for one kernel, in canonical
-// order (algorithm, then protocol, then NDup, then PPN). Variants that
-// cannot change the kernel's schedule are skipped: algorithms outside the
-// operation's family, protocol variants that only move the other operation's
-// switch point, and any switch-point-only variant when the algorithm is
-// forced (a forced algorithm never consults the switch points).
+// order (algorithm, then progress engine, then protocol, then NDup, then
+// PPN). Variants that cannot change the kernel's schedule are skipped:
+// algorithms outside the operation's family, protocol variants that only
+// move the other operation's switch point, any switch-point-only variant
+// when the algorithm is forced (a forced algorithm never consults the
+// switch points), and (PPN, progress) pairs whose agents would not fit in
+// the launched lanes.
 func (g Grid) cellsFor(k Kernel) []Params {
 	var out []Params
 	for _, alg := range g.algsFor(k.Op) {
-		for _, proto := range g.Protocols {
-			if skipProto(k.Op, alg, proto) {
-				continue
-			}
-			for _, ndup := range g.NDups {
-				for _, ppn := range g.PPNs {
-					p := proto
-					p.NDup, p.PPN, p.Alg = ndup, ppn, alg
-					out = append(out, p)
+		for _, prog := range g.progressesFor(alg) {
+			lanes := progress.MustParse(prog).LanesNeeded()
+			for _, proto := range g.Protocols {
+				if skipProto(k.Op, alg, proto) {
+					continue
+				}
+				for _, ndup := range g.NDups {
+					for _, ppn := range g.PPNs {
+						if ppn+lanes > g.LaunchPPN {
+							continue
+						}
+						p := proto
+						p.NDup, p.PPN, p.Alg, p.Progress = ndup, ppn, alg, prog
+						out = append(out, p)
+					}
 				}
 			}
 		}
 	}
 	return out
+}
+
+// progressesFor filters the grid's progress-engine axis for one algorithm:
+// the engine is orthogonal to algorithm choice, so engine-on variants are
+// crossed with the auto algorithm only.
+func (g Grid) progressesFor(alg string) []string {
+	if len(g.Progresses) == 0 || alg != mpi.AlgAuto {
+		return []string{""}
+	}
+	return g.Progresses
 }
 
 // algsFor filters the grid's algorithm list down to the members applicable
@@ -327,13 +370,16 @@ func Measure(k Kernel, p Params, launchPPN int) (float64, error) {
 	if err := p.validate(); err != nil {
 		return 0, err
 	}
-	if p.PPN > launchPPN {
-		return 0, fmt.Errorf("tune: PPN %d exceeds launch PPN %d", p.PPN, launchPPN)
+	sp := progress.MustParse(p.Progress) // validated above
+	if p.PPN+sp.LanesNeeded() > launchPPN {
+		return 0, fmt.Errorf("tune: PPN %d + %d progress lanes exceed launch PPN %d",
+			p.PPN, sp.LanesNeeded(), launchPPN)
 	}
 	if workloadOp(k.Op) {
 		return measureWorkload(k, p, launchPPN)
 	}
 	cfg := simnet.DefaultConfig(k.Nodes)
+	sp.ApplyConfig(&cfg)
 	topo, err := simnet.TopoByName(k.Topo, k.Nodes)
 	if err != nil {
 		return 0, err
@@ -369,6 +415,7 @@ func Measure(k Kernel, p Params, launchPPN int) (float64, error) {
 	case "allreduce":
 		w.AllreduceAlg = p.Alg
 	}
+	sp.ApplyWorld(w)
 	var elapsed float64
 	w.Launch(func(pr *mpi.Proc) {
 		// Column communicators (one rank per node each) are split off while
@@ -450,6 +497,7 @@ func measureWorkload(k Kernel, p Params, launchPPN int) (float64, error) {
 		Elems:     elems,
 		Overlap:   true,
 		Alg:       p.Alg,
+		Progress:  p.Progress,
 		Topo:      k.Topo,
 		Config:    &cfg,
 	})

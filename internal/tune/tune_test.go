@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"commoverlap/internal/core"
+	"commoverlap/internal/mpi"
+	"commoverlap/internal/progress"
 )
 
 // testGrid is a small grid that keeps the test sweep fast while still
@@ -208,23 +210,42 @@ func TestKernelConfig(t *testing.T) {
 // TestGridCellFiltering: protocol variants that only move the other
 // operation's switch point are dropped from a kernel's sweep, and forced
 // algorithms additionally drop both switch-point variants. With FullGrid's
-// 6 protocols that leaves 5 for auto and 4 per forced algorithm: bcast and
-// reduce each have 2 forced algorithms (5+2*4), allreduce has 5 (5+5*4).
+// 6 protocols that leaves 5 for auto and 4 per forced algorithm. The
+// progress axis crosses the auto cells only ("" / rank1 / rank2 / dma); the
+// engine-off and dma variants sweep all 4 PPNs, the rank modes skip PPN 8
+// (no launched lane left for the agents), so one auto protocol contributes
+// 8*(4+3+3+4) = 112 cells and a forced-alg protocol 8*4 = 32.
 func TestGridCellFiltering(t *testing.T) {
 	g := FullGrid()
-	nProto := func(k Kernel) int {
-		return len(g.cellsFor(k)) / (len(g.NDups) * len(g.PPNs))
+	cells := func(k Kernel) int { return len(g.cellsFor(k)) }
+	// bcast/reduce: 5 auto protocols * 112 + 2 forced algs * 4 protocols * 32.
+	if got := cells(Kernel{Op: "reduce", Bytes: 1 << 20, Nodes: 4}); got != 816 {
+		t.Errorf("reduce kernel sweeps %d cells, want 816", got)
 	}
-	if got := nProto(Kernel{Op: "reduce", Bytes: 1 << 20, Nodes: 4}); got != 13 {
-		t.Errorf("reduce kernel sweeps %d protocol variants, want 13", got)
+	if got := cells(Kernel{Op: "bcast", Bytes: 1 << 20, Nodes: 4}); got != 816 {
+		t.Errorf("bcast kernel sweeps %d cells, want 816", got)
 	}
-	if got := nProto(Kernel{Op: "bcast", Bytes: 1 << 20, Nodes: 4}); got != 13 {
-		t.Errorf("bcast kernel sweeps %d protocol variants, want 13", got)
+	// allreduce: 5 auto protocols * 112 + 5 forced algs * 4 protocols * 32.
+	if got := cells(Kernel{Op: "allreduce", Bytes: 1 << 20, Nodes: 4}); got != 1200 {
+		t.Errorf("allreduce kernel sweeps %d cells, want 1200", got)
 	}
-	if got := nProto(Kernel{Op: "allreduce", Bytes: 1 << 20, Nodes: 4}); got != 25 {
-		t.Errorf("allreduce kernel sweeps %d protocol variants, want 25", got)
+	// The engine crosses auto only, and rank-mode agents always fit.
+	for _, c := range g.cellsFor(Kernel{Op: "reduce", Bytes: 1 << 20, Nodes: 4}) {
+		if c.Progress != "" && c.Alg != mpi.AlgAuto {
+			t.Fatalf("progress %q crossed with forced alg %q", c.Progress, c.Alg)
+		}
+		if c.PPN+MustLanes(c.Progress) > g.LaunchPPN {
+			t.Fatalf("cell ppn=%d progress=%q overflows launch width %d", c.PPN, c.Progress, g.LaunchPPN)
+		}
 	}
 	if err := (Grid{Name: "bad", NDups: []int{1}, PPNs: []int{4}, LaunchPPN: 2, Protocols: []Params{{}}}).validate(); err == nil {
 		t.Error("grid with PPN above launch width validated")
 	}
+	if err := (Grid{Name: "bad", NDups: []int{1}, PPNs: []int{1}, LaunchPPN: 2, Protocols: []Params{{}},
+		Progresses: []string{"rank0"}}).validate(); err == nil {
+		t.Error("grid with malformed progress label validated")
+	}
 }
+
+// MustLanes is a test shorthand for the agent-lane demand of a progress label.
+func MustLanes(label string) int { return progress.MustParse(label).LanesNeeded() }

@@ -30,6 +30,7 @@ import (
 
 	"commoverlap/internal/mesh"
 	"commoverlap/internal/mpi"
+	"commoverlap/internal/progress"
 	"commoverlap/internal/sim"
 	"commoverlap/internal/simnet"
 )
@@ -92,6 +93,11 @@ type Spec struct {
 	// Alg forces a collective algorithm where the pattern's collective has
 	// a family (dp's allreduce); empty keeps switch-point auto selection.
 	Alg string
+	// Progress selects the asynchronous progress engine (progress.Parse
+	// labels: "" off, "rankN" agents per node out of the launched lanes,
+	// "dma" the per-node offload engine). Rank-mode agents must fit in the
+	// parked lanes: PPN + N <= LaunchPPN.
+	Progress string
 	// Topo names the fabric (simnet.TopoByName); empty is flat.
 	Topo string
 	// FlopsPerUnit is the simulated compute per unit per rank (backward
@@ -146,6 +152,14 @@ func (s Spec) validate() error {
 	if s.NDup < 1 || s.Units < 1 || s.Elems < 1 {
 		return fmt.Errorf("workload: ndup=%d units=%d elems=%d", s.NDup, s.Units, s.Elems)
 	}
+	sp, err := progress.Parse(s.Progress)
+	if err != nil {
+		return fmt.Errorf("workload: %w", err)
+	}
+	if s.PPN+sp.LanesNeeded() > s.LaunchPPN {
+		return fmt.Errorf("workload: PPN %d + %d progress lanes exceed launch PPN %d",
+			s.PPN, sp.LanesNeeded(), s.LaunchPPN)
+	}
 	return nil
 }
 
@@ -193,6 +207,8 @@ func Run(s Spec) (Result, error) {
 		return Result{}, err
 	}
 	cfg.Topo = topo
+	sp := progress.MustParse(s.Progress) // validated above
+	sp.ApplyConfig(&cfg)
 	eng := sim.NewEngine()
 	net, err := simnet.New(eng, cfg)
 	if err != nil {
@@ -206,6 +222,7 @@ func Run(s Spec) (Result, error) {
 	if s.Alg != "" {
 		w.AllreduceAlg = s.Alg
 	}
+	sp.ApplyWorld(w)
 	var firstErr error
 	rrs := make([]RankResult, ranks)
 	w.Launch(func(p *mpi.Proc) {
