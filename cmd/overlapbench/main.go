@@ -5,7 +5,9 @@
 //
 //	overlapbench [-n dim] [-csv dir] [-trace file] [-metrics] [-noise] [experiment ...]
 //	overlapbench -validate-trace file
-//	overlapbench tune [-quick] [-table file] [-cells-csv file] [-cold]
+//	overlapbench tune [-quick] [-table file] [-cells-csv file] [-cold] [-cache]
+//	overlapbench serve [-addr host:port] [-queue n] [-max-jobs n] [-worker-cap n]
+//	overlapbench loadbench [-cpu 1,2,4] [-clients n] [-jobs n] [-csv file]
 //	overlapbench mlwork [-quick] [-csv dir]
 //	overlapbench progress [-quick] [-csv dir]
 //	overlapbench bench-diff [-threshold pct] [-alloc-threshold pct] [-fail-on-regression] [-require-env-match] base.json current.json
@@ -42,7 +44,20 @@
 // internal/tune): a deterministic parallel search over the overlap
 // parameter space, warm-started from the existing table when its cells'
 // provenance hashes still match. -quick sweeps the coarse CI grid instead
-// of the full one. bench-diff compares two bench-host artifacts; -threshold,
+// of the full one; -cache routes every cell through the process-wide
+// content-addressed result store (internal/cache) the experiment paths
+// also consult, so repeated cells become hash lookups.
+//
+// The serve subcommand runs overlapbench as a long-running tuning service
+// (see internal/serve): an HTTP/JSON job API — POST /jobs, GET /jobs/{id},
+// /jobs/{id}/result, /jobs/{id}/events (NDJSON cell stream), /stats — over
+// the replica pool, with the cross-job result cache so the same cell is
+// never simulated twice, a bounded job queue (503 on overflow), a global
+// worker cap shared across concurrent jobs, and graceful drain on
+// SIGINT/SIGTERM. loadbench is the matching many-client load benchmark:
+// per -cpu worker width it measures one cold job then -clients concurrent
+// clients re-submitting it, asserting byte-identical responses and the
+// >= 90% warm cache-hit contract. bench-diff compares two bench-host artifacts; -threshold,
 // -alloc-threshold and -fail-on-regression turn it into a gate whose timing
 // half arms only when both artifacts share an environment (cores, workers,
 // toolchain — otherwise it reports "env-mismatch: report-only", or errors
@@ -70,6 +85,7 @@ import (
 	"time"
 
 	"commoverlap/internal/bench"
+	"commoverlap/internal/cache"
 	"commoverlap/internal/metrics"
 	"commoverlap/internal/trace"
 	"commoverlap/internal/tune"
@@ -192,6 +208,20 @@ func realMain() int {
 		}
 		return 0
 	}
+	if len(exps) > 0 && exps[0] == "serve" {
+		if err := runServe(exps[1:]); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if len(exps) > 0 && exps[0] == "loadbench" {
+		if err := runLoadBench(exps[1:]); err != nil {
+			fmt.Fprintf(os.Stderr, "loadbench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
 	if len(exps) > 0 && exps[0] == "mlwork" {
 		if err := runMLWork(exps[1:], *csvDir); err != nil {
 			fmt.Fprintf(os.Stderr, "mlwork: %v\n", err)
@@ -220,7 +250,7 @@ func realMain() int {
 				"usage: overlapbench [flags] [experiment ...]\n"+
 				"experiments: fig3 fig4 fig5 fig6 table1 table2 table3 table4 table5\n"+
 				"             solver algos ablate sparse scaling topo paperscale tuned noise report all\n"+
-				"subcommands: tune mlwork progress bench-host bench-diff\n", e)
+				"subcommands: tune serve loadbench mlwork progress bench-host bench-diff\n", e)
 			return 2
 		}
 	}
@@ -577,11 +607,12 @@ func runTune(args []string, workers int) error {
 	tablePath := fs.String("table", "TUNING.json", "tuning table to warm-start from and write back to")
 	cellsCSV := fs.String("cells-csv", "", "also write every measured cell as CSV to this file")
 	cold := fs.Bool("cold", false, "ignore an existing table (re-measure every cell)")
+	useCache := fs.Bool("cache", false, "consult the in-process result cache (shared with the experiment paths)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if len(fs.Args()) != 0 {
-		return fmt.Errorf("unexpected arguments %q\nusage: overlapbench tune [-quick] [-table file] [-cells-csv file] [-cold]", fs.Args())
+		return fmt.Errorf("unexpected arguments %q\nusage: overlapbench tune [-quick] [-table file] [-cells-csv file] [-cold] [-cache]", fs.Args())
 	}
 	grid := tune.FullGrid()
 	if *quick {
@@ -595,19 +626,29 @@ func runTune(args []string, workers int) error {
 			fmt.Fprintf(os.Stderr, "  [ignoring warm-start table: %v]\n", err)
 		}
 	}
-	start := time.Now()
-	table, err := tune.Search(tune.Options{
+	opts := tune.Options{
 		Grid:     grid,
 		Workers:  workers,
 		Warm:     warm,
 		Progress: func(line string) { fmt.Printf("  %s\n", line) },
-	})
+	}
+	if *useCache {
+		opts.Cache = cache.Shared()
+	}
+	start := time.Now()
+	table, err := tune.Search(opts)
 	if err != nil {
 		return err
 	}
 	warmN, total := table.WarmCount()
-	fmt.Printf("  [%s grid: %d cells (%d warm-started) in %.1fs wall time]\n",
-		grid.Name, total, warmN, time.Since(start).Seconds())
+	if *useCache {
+		cached, dup, _ := table.CachedCount()
+		fmt.Printf("  [%s grid: %d cells (%d warm-started, %d cache hits, %d in-job dups) in %.1fs wall time]\n",
+			grid.Name, total, warmN, cached, dup, time.Since(start).Seconds())
+	} else {
+		fmt.Printf("  [%s grid: %d cells (%d warm-started) in %.1fs wall time]\n",
+			grid.Name, total, warmN, time.Since(start).Seconds())
+	}
 	if err := tune.SaveTable(*tablePath, table); err != nil {
 		return err
 	}

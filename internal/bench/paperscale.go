@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"commoverlap/internal/cache"
 	"commoverlap/internal/core"
 	"commoverlap/internal/mesh"
 	"commoverlap/internal/mpi"
@@ -155,7 +156,8 @@ func PaperScaleTuned(w io.Writer, n int, table *tune.Table) (PaperScaleResult, e
 	}
 	cells, err := parcases(1+len(paperScaleMeshes), func(i int) (float64, error) {
 		if i == 0 {
-			return tune.Measure(want, entry.Best, table.Grid.LaunchPPN)
+			bw, _, err := tune.MeasureCached(cache.Shared(), want, entry.Best, table.Grid.LaunchPPN)
+			return bw, err
 		}
 		p := paperScaleMeshes[i-1]
 		tc, err := table.KernelConfig(core.Config{N: n, NDup: 4}, p, cube(p))

@@ -1,0 +1,80 @@
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Limiter is a weighted semaphore that caps the TOTAL worker count across
+// concurrent Map pools. A single Map bounds its own width, but a server
+// running several jobs at once would oversubscribe the machine if every job
+// brought its full requested pool: three jobs at -workers 8 on an 8-core
+// host is 24 runnable goroutines fighting for 8 cores, which is slower than
+// 8 for everyone. Job runners therefore Acquire their desired width from a
+// shared Limiter and run with whatever slice they are granted.
+//
+// Acquire is elastic rather than all-or-nothing: it blocks only until at
+// least one slot is free, then grants min(want, free). A job asking for 8
+// workers on a busy machine may be granted 2 — it still makes progress, and
+// because results are index-keyed (see Map), the narrower pool changes
+// wall-clock only, never output. Grants are deliberately not FIFO-fair;
+// jobs are long compared to the scheduling window and slots recirculate as
+// jobs finish.
+type Limiter struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	cap   int
+	inUse int
+}
+
+// NewLimiter returns a Limiter with the given capacity; cap <= 0 selects
+// GOMAXPROCS, the machine-wide oversubscription boundary.
+func NewLimiter(capacity int) *Limiter {
+	if capacity <= 0 {
+		capacity = runtime.GOMAXPROCS(0)
+	}
+	l := &Limiter{cap: capacity}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// Acquire blocks until at least one slot is free, then claims and returns
+// min(want, free) slots. want < 1 is treated as 1. The caller must Release
+// exactly the granted count when its pool drains.
+func (l *Limiter) Acquire(want int) int {
+	if want < 1 {
+		want = 1
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.inUse >= l.cap {
+		l.cond.Wait()
+	}
+	got := min(want, l.cap-l.inUse)
+	l.inUse += got
+	return got
+}
+
+// Release returns n slots claimed by a prior Acquire. Releasing more than
+// is in use panics: it means a caller double-released, and a silently
+// negative count would let later Acquires oversubscribe the cap.
+func (l *Limiter) Release(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n > l.inUse {
+		panic(fmt.Sprintf("runner: Limiter.Release(%d) with %d in use", n, l.inUse))
+	}
+	l.inUse -= n
+	l.cond.Broadcast()
+}
+
+// InUse reports the currently claimed slot count.
+func (l *Limiter) InUse() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inUse
+}
+
+// Cap reports the limiter's capacity.
+func (l *Limiter) Cap() int { return l.cap }

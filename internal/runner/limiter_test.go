@@ -1,0 +1,108 @@
+package runner
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestLimiterNeverOversubscribes is the server's oversubscription
+// regression: many concurrent jobs, each asking for a full-width pool, must
+// never hold more worker slots in aggregate than the cap — and the workers
+// they actually run must match the grant. Every job tracks the limiter's
+// high-water mark while its pool is live.
+func TestLimiterNeverOversubscribes(t *testing.T) {
+	const cap = 4
+	const jobs = 16
+	l := NewLimiter(cap)
+	var live, high atomic.Int64 // concurrently running workers, and the max seen
+	var wg sync.WaitGroup
+	wg.Add(jobs)
+	for j := 0; j < jobs; j++ {
+		go func() {
+			defer wg.Done()
+			got := l.Acquire(8) // every job wants more than the whole cap
+			if got < 1 || got > cap {
+				t.Errorf("Acquire granted %d, want 1..%d", got, cap)
+			}
+			defer l.Release(got)
+			if in := l.InUse(); in > cap {
+				t.Errorf("InUse=%d exceeds cap %d", in, cap)
+			}
+			_, err := Map(32, got, func(i int) (int, error) {
+				n := live.Add(1)
+				for {
+					h := high.Load()
+					if n <= h || high.CompareAndSwap(h, n) {
+						break
+					}
+				}
+				defer live.Add(-1)
+				// Touch enough work that pools genuinely overlap in time.
+				s := 0
+				for k := 0; k < 1000; k++ {
+					s += k ^ i
+				}
+				return s, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if h := high.Load(); h > cap {
+		t.Errorf("observed %d concurrent workers across jobs, cap is %d", h, cap)
+	}
+	if l.InUse() != 0 {
+		t.Errorf("slots leaked: InUse=%d after all jobs released", l.InUse())
+	}
+}
+
+// TestLimiterElasticGrant: a second Acquire while the cap is partly held is
+// granted the remainder rather than blocking for its full want, and a
+// blocked Acquire wakes when slots return.
+func TestLimiterElasticGrant(t *testing.T) {
+	l := NewLimiter(4)
+	if got := l.Acquire(3); got != 3 {
+		t.Fatalf("first Acquire(3) = %d, want 3", got)
+	}
+	if got := l.Acquire(8); got != 1 {
+		t.Fatalf("Acquire(8) with 1 free = %d, want 1", got)
+	}
+	done := make(chan int)
+	go func() { done <- l.Acquire(2) }()
+	select {
+	case got := <-done:
+		t.Fatalf("Acquire(2) returned %d with zero slots free", got)
+	default:
+	}
+	l.Release(3)
+	if got := <-done; got != 2 {
+		t.Fatalf("unblocked Acquire(2) = %d, want 2", got)
+	}
+	l.Release(2)
+	l.Release(1)
+	if l.InUse() != 0 || l.Cap() != 4 {
+		t.Fatalf("InUse=%d Cap=%d, want 0 and 4", l.InUse(), l.Cap())
+	}
+}
+
+// TestLimiterDefaults: cap <= 0 selects GOMAXPROCS, want < 1 claims one
+// slot, and over-releasing panics instead of corrupting the count.
+func TestLimiterDefaults(t *testing.T) {
+	l := NewLimiter(0)
+	if l.Cap() < 1 {
+		t.Fatalf("default cap = %d, want >= 1", l.Cap())
+	}
+	if got := l.Acquire(0); got != 1 {
+		t.Fatalf("Acquire(0) = %d, want 1", got)
+	}
+	l.Release(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("over-release did not panic")
+		}
+	}()
+	l.Release(1)
+}

@@ -1,0 +1,303 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"commoverlap/internal/cache"
+	"commoverlap/internal/tune"
+)
+
+// The many-client load benchmark: the service's perf claim is that the
+// cross-job cache makes a warm job a stream of hash lookups, so the second
+// client asking for a table pays latency orders of magnitude below the
+// first — and gets byte-identical bytes. LoadBench measures exactly that,
+// per worker count: one cold job against a fresh store, then a swarm of
+// concurrent clients re-submitting the identical job, with every warm
+// response compared byte-for-byte to the cold one and every warm job's
+// cache-hit share asserted against the >= 90% contract.
+
+// LoadOptions configures a LoadBench run.
+type LoadOptions struct {
+	// Workers is the per-job width sweep (default {1, 2, 4}), in the spirit
+	// of `go test -cpu 1,2,4`: the determinism claim is per width, so each
+	// point runs cold and warm at that width against a fresh server.
+	Workers []int
+	// Clients is the concurrent-client count in the warm phase (default 4).
+	Clients int
+	// JobsPerClient is how many identical jobs each client submits
+	// (default 2).
+	JobsPerClient int
+	// Request is the job every client submits; the zero value selects a
+	// small quick-mode request sized for CI.
+	Request JobRequest
+	// Out receives the human-readable report (nil = discard).
+	Out io.Writer
+	// CSV receives one row per sweep point (nil = none).
+	CSV io.Writer
+}
+
+// DefaultLoadRequest is the job the load benchmark submits when the caller
+// does not provide one: two small kernels over an inline grid, big enough
+// to exercise dedup and coalescing, small enough for CI.
+func DefaultLoadRequest() JobRequest {
+	return JobRequest{
+		Kernels: []tune.Kernel{
+			{Op: "reduce", Bytes: 256 << 10, Nodes: 4},
+			{Op: "allreduce", Bytes: 256 << 10, Nodes: 4},
+		},
+		GridSpec: &tune.Grid{
+			Name:      "loadbench",
+			NDups:     []int{1, 2, 4},
+			PPNs:      []int{1, 2},
+			LaunchPPN: 2,
+			Protocols: []Params{{}},
+		},
+	}
+}
+
+// LoadPoint is one sweep point's measurements.
+type LoadPoint struct {
+	Workers     int     `json:"workers"`
+	ColdMS      float64 `json:"cold_ms"`      // first job, empty store
+	WarmMeanMS  float64 `json:"warm_mean_ms"` // mean over all warm jobs
+	WarmJobs    int     `json:"warm_jobs"`
+	Speedup     float64 `json:"speedup"` // ColdMS / WarmMeanMS
+	MinHitShare float64 `json:"min_hit_share"`
+	Identical   bool    `json:"identical"` // every warm body == cold body
+	Hits        uint64  `json:"hits"`      // store hits after the point
+	Coalesced   uint64  `json:"coalesced"`
+}
+
+// Params is an alias so DefaultLoadRequest's literal reads naturally.
+type Params = tune.Params
+
+// LoadBench runs the sweep. Each point starts an in-process server on an
+// ephemeral port with a FRESH store (so cold means cold), submits the cold
+// job, then fans Clients x JobsPerClient identical warm jobs from
+// concurrent clients over real HTTP. It returns the per-point results and
+// an error if any warm response differs from the cold bytes or misses the
+// hit-share contract.
+func LoadBench(opts LoadOptions) ([]LoadPoint, error) {
+	if len(opts.Workers) == 0 {
+		opts.Workers = []int{1, 2, 4}
+	}
+	if opts.Clients <= 0 {
+		opts.Clients = 4
+	}
+	if opts.JobsPerClient <= 0 {
+		opts.JobsPerClient = 2
+	}
+	req := opts.Request
+	if req.Kernels == nil && req.GridSpec == nil && req.Grid == "" {
+		w := req.Workers
+		req = DefaultLoadRequest()
+		req.Workers = w
+	}
+	out := opts.Out
+	if out == nil {
+		out = io.Discard
+	}
+	if opts.CSV != nil {
+		fmt.Fprintln(opts.CSV, "workers,clients,cold_ms,warm_mean_ms,speedup,min_hit_share,identical,hits,coalesced")
+	}
+
+	var points []LoadPoint
+	fmt.Fprintf(out, "Service load benchmark: %d clients x %d warm jobs per point\n\n", opts.Clients, opts.JobsPerClient)
+	fmt.Fprintf(out, "%8s %10s %10s %9s %8s %10s\n", "workers", "cold ms", "warm ms", "speedup", "hit %", "identical")
+	for _, workers := range opts.Workers {
+		pt, err := loadPoint(req, workers, opts.Clients, opts.JobsPerClient)
+		if err != nil {
+			return points, fmt.Errorf("workers=%d: %w", workers, err)
+		}
+		points = append(points, pt)
+		fmt.Fprintf(out, "%8d %10.1f %10.1f %8.1fx %7.1f%% %10v\n",
+			pt.Workers, pt.ColdMS, pt.WarmMeanMS, pt.Speedup, 100*pt.MinHitShare, pt.Identical)
+		if opts.CSV != nil {
+			fmt.Fprintf(opts.CSV, "%d,%d,%.3f,%.3f,%.2f,%.4f,%v,%d,%d\n",
+				pt.Workers, opts.Clients, pt.ColdMS, pt.WarmMeanMS, pt.Speedup,
+				pt.MinHitShare, pt.Identical, pt.Hits, pt.Coalesced)
+		}
+	}
+	fmt.Fprintf(out, "\nEvery warm response is byte-compared to the cold table; warm jobs must\nhit the cache on >= 90%% of their cells.\n")
+	return points, nil
+}
+
+// loadPoint measures one sweep point against a fresh in-process server.
+func loadPoint(req JobRequest, workers, clients, jobsPer int) (LoadPoint, error) {
+	req.Workers = workers
+	store := cache.New(0)
+	srv := New(Config{
+		Cache:             store,
+		MaxConcurrentJobs: clients, // let the warm swarm actually overlap
+		QueueDepth:        clients*jobsPer + 1,
+	})
+	if err := srv.Start(); err != nil {
+		return LoadPoint{}, err
+	}
+	defer srv.Shutdown(shutdownCtx())
+	base := "http://" + srv.Addr()
+
+	pt := LoadPoint{Workers: workers, Identical: true, MinHitShare: 1}
+	cold, coldBody, err := runJobHTTP(base, req)
+	if err != nil {
+		return pt, fmt.Errorf("cold job: %w", err)
+	}
+	pt.ColdMS = cold
+
+	type warmRes struct {
+		ms    float64
+		share float64
+		body  []byte
+		err   error
+	}
+	results := make([]warmRes, clients*jobsPer)
+	var wg sync.WaitGroup
+	wg.Add(clients)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < jobsPer; i++ {
+				r := &results[c*jobsPer+i]
+				var st JobStatus
+				r.ms, r.body, st, r.err = runJobHTTPStatus(base, req)
+				if r.err == nil && st.Total > 0 {
+					r.share = float64(st.Cached+st.Dup) / float64(st.Total)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	var sum float64
+	for i, r := range results {
+		if r.err != nil {
+			return pt, fmt.Errorf("warm job %d: %w", i, r.err)
+		}
+		sum += r.ms
+		pt.WarmJobs++
+		if !bytes.Equal(r.body, coldBody) {
+			pt.Identical = false
+		}
+		if r.share < pt.MinHitShare {
+			pt.MinHitShare = r.share
+		}
+	}
+	pt.WarmMeanMS = sum / float64(len(results))
+	if pt.WarmMeanMS > 0 {
+		pt.Speedup = pt.ColdMS / pt.WarmMeanMS
+	}
+	st := store.Stats()
+	pt.Hits, pt.Coalesced = st.Hits, st.Coalesced
+	if !pt.Identical {
+		return pt, fmt.Errorf("a warm response differs from the cold table bytes")
+	}
+	if pt.MinHitShare < 0.9 {
+		return pt, fmt.Errorf("warm job hit only %.0f%% of its cells from the cache, want >= 90%%", 100*pt.MinHitShare)
+	}
+	if st.Hits == 0 {
+		return pt, fmt.Errorf("store counted no hits across %d warm jobs", pt.WarmJobs)
+	}
+	return pt, nil
+}
+
+// runJobHTTP submits a job over HTTP, waits for it, and returns the
+// latency (ms) and the result body.
+func runJobHTTP(base string, req JobRequest) (float64, []byte, error) {
+	ms, body, _, err := runJobHTTPStatus(base, req)
+	return ms, body, err
+}
+
+func runJobHTTPStatus(base string, req JobRequest) (float64, []byte, JobStatus, error) {
+	var st JobStatus
+	t0 := time.Now()
+	id, err := SubmitJob(base, req)
+	if err != nil {
+		return 0, nil, st, err
+	}
+	st, err = WaitJob(base, id, 0)
+	if err != nil {
+		return 0, nil, st, err
+	}
+	body, err := JobResult(base, id)
+	return float64(time.Since(t0)) / float64(time.Millisecond), body, st, err
+}
+
+// shutdownCtx bounds a benchmark server's graceful drain.
+func shutdownCtx() context.Context {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	_ = cancel // the timeout reaps it; the servers here have no queued work left
+	return ctx
+}
+
+// SubmitJob POSTs a job and returns its id.
+func SubmitJob(base string, req JobRequest) (string, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return "", err
+	}
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		msg, _ := io.ReadAll(resp.Body)
+		return "", fmt.Errorf("submit: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return "", err
+	}
+	return st.ID, nil
+}
+
+// WaitJob polls a job until it reaches a terminal state; poll <= 0 selects
+// a 10ms interval.
+func WaitJob(base, id string, poll time.Duration) (JobStatus, error) {
+	if poll <= 0 {
+		poll = 10 * time.Millisecond
+	}
+	for {
+		resp, err := http.Get(base + "/jobs/" + id)
+		if err != nil {
+			return JobStatus{}, err
+		}
+		var st JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return JobStatus{}, err
+		}
+		switch st.State {
+		case StateDone:
+			return st, nil
+		case StateFailed:
+			return st, fmt.Errorf("job %s failed: %s", id, st.Error)
+		}
+		time.Sleep(poll)
+	}
+}
+
+// JobResult fetches a finished job's canonical table bytes.
+func JobResult(base, id string) ([]byte, error) {
+	resp, err := http.Get(base + "/jobs/" + id + "/result")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("result: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	return body, nil
+}

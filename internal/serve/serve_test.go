@@ -1,0 +1,366 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"commoverlap/internal/cache"
+)
+
+// testRequest is a small job sized for unit tests.
+func testRequest(workers int) JobRequest {
+	req := DefaultLoadRequest()
+	req.Workers = workers
+	return req
+}
+
+// startServer runs a server on an ephemeral port and shuts it down with
+// the test.
+func startServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	srv := New(cfg)
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return srv, "http://" + srv.Addr()
+}
+
+// TestServerWarmJobByteIdentity is the service half of the acceptance
+// criterion: a second identical job completes with >= 90% cell cache hits
+// and byte-identical output, at 1 and at 8 workers.
+func TestServerWarmJobByteIdentity(t *testing.T) {
+	var ref []byte
+	for _, workers := range []int{1, 8} {
+		store := cache.New(0)
+		_, base := startServer(t, Config{Cache: store, WorkerCap: 8})
+
+		_, cold, st, err := runJobHTTPStatus(base, testRequest(workers))
+		if err != nil {
+			t.Fatalf("workers=%d cold: %v", workers, err)
+		}
+		if st.Workers < 1 || st.Workers > 8 {
+			t.Fatalf("workers=%d: granted %d", workers, st.Workers)
+		}
+		if ref == nil {
+			ref = cold
+		} else if !bytes.Equal(cold, ref) {
+			t.Fatalf("workers=%d: cold table differs from workers=1 table", workers)
+		}
+		_, warm, st, err := runJobHTTPStatus(base, testRequest(workers))
+		if err != nil {
+			t.Fatalf("workers=%d warm: %v", workers, err)
+		}
+		if !bytes.Equal(warm, cold) {
+			t.Fatalf("workers=%d: warm response not byte-identical to cold", workers)
+		}
+		if st.Total == 0 || float64(st.Cached+st.Dup) < 0.9*float64(st.Total) {
+			t.Fatalf("workers=%d: warm job cached %d+%d of %d cells, want >= 90%%",
+				workers, st.Cached, st.Dup, st.Total)
+		}
+		if store.Stats().Hits == 0 {
+			t.Fatalf("workers=%d: store counted no hits", workers)
+		}
+	}
+}
+
+// TestServerConcurrentClientsCoalesce: >= 4 clients hammer a cold server
+// with the identical job; every response is byte-identical and the store
+// reports cache traffic (hits, or coalesced waits when jobs overlap).
+func TestServerConcurrentClientsCoalesce(t *testing.T) {
+	store := cache.New(0)
+	_, base := startServer(t, Config{
+		Cache:             store,
+		MaxConcurrentJobs: 4,
+		WorkerCap:         8,
+		QueueDepth:        16,
+	})
+	const clients = 4
+	bodies := make([][]byte, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	wg.Add(clients)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			defer wg.Done()
+			_, bodies[c], errs[c] = runJobHTTP(base, testRequest(2))
+		}(c)
+	}
+	wg.Wait()
+	for c := 0; c < clients; c++ {
+		if errs[c] != nil {
+			t.Fatalf("client %d: %v", c, errs[c])
+		}
+		if !bytes.Equal(bodies[c], bodies[0]) {
+			t.Errorf("client %d: response differs from client 0", c)
+		}
+	}
+	st := store.Stats()
+	if st.Hits+st.Coalesced == 0 {
+		t.Errorf("no cache traffic across %d identical concurrent jobs: %+v", clients, st)
+	}
+}
+
+// TestServerWorkerCapNotOversubscribed: concurrent greedy jobs each ask
+// for far more workers than the cap; the granted widths and the limiter's
+// high-water mark must respect it.
+func TestServerWorkerCapNotOversubscribed(t *testing.T) {
+	const cap = 2
+	_, base := startServer(t, Config{
+		Cache:             cache.New(0),
+		MaxConcurrentJobs: 4,
+		WorkerCap:         cap,
+		QueueDepth:        16,
+	})
+	const jobs = 4
+	var wg sync.WaitGroup
+	statuses := make([]JobStatus, jobs)
+	errs := make([]error, jobs)
+	wg.Add(jobs)
+	for i := 0; i < jobs; i++ {
+		go func(i int) {
+			defer wg.Done()
+			_, _, statuses[i], errs[i] = runJobHTTPStatus(base, testRequest(16))
+		}(i)
+	}
+	wg.Wait()
+	for i, st := range statuses {
+		if errs[i] != nil {
+			t.Fatalf("job %d: %v", i, errs[i])
+		}
+		if st.Workers < 1 || st.Workers > cap {
+			t.Errorf("job %d granted %d workers, cap is %d", i, st.Workers, cap)
+		}
+	}
+	var stats ServerStats
+	getJSON(t, base+"/stats", &stats)
+	if stats.WorkersPeak > cap {
+		t.Errorf("aggregate worker high-water %d exceeds cap %d", stats.WorkersPeak, cap)
+	}
+	if stats.WorkerCap != cap {
+		t.Errorf("stats report cap %d, want %d", stats.WorkerCap, cap)
+	}
+}
+
+// TestServerQueueBackpressure: with one runner occupied and a depth-1
+// queue, a third submission is rejected with 503 instead of queueing
+// unboundedly. The testHold hook pins the first job in StateRunning so
+// the sequence is deterministic regardless of simulation speed.
+func TestServerQueueBackpressure(t *testing.T) {
+	srv := New(Config{
+		Cache:             cache.New(0),
+		MaxConcurrentJobs: 1,
+		QueueDepth:        1,
+	})
+	started := make(chan struct{}, 4)
+	release := make(chan struct{})
+	srv.testHold = func() {
+		started <- struct{}{}
+		<-release
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	base := "http://" + srv.Addr()
+	req := DefaultLoadRequest()
+	id, err := SubmitJob(base, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // job 1 dequeued and pinned running; the queue slot is free
+	if _, err := SubmitJob(base, req); err != nil {
+		t.Fatalf("second job should queue: %v", err)
+	}
+	if _, err := SubmitJob(base, req); err == nil ||
+		!strings.Contains(err.Error(), "503") {
+		t.Fatalf("third job on a full queue: err=%v, want 503", err)
+	}
+	close(release) // let job 1 (and then job 2) run to completion
+	if _, err := WaitJob(base, id, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerEventsStream: the NDJSON stream delivers every cell completion
+// with a monotone done counter and a terminal state line.
+func TestServerEventsStream(t *testing.T) {
+	_, base := startServer(t, Config{Cache: cache.New(0)})
+	id, err := SubmitJob(base, testRequest(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(base + "/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	cells, last := 0, 0
+	terminal := ""
+	for sc.Scan() {
+		var ev CellEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		if ev.State != "" {
+			terminal = ev.State
+			break
+		}
+		cells++
+		if ev.Done != last+1 {
+			t.Fatalf("done jumped %d -> %d", last, ev.Done)
+		}
+		last = ev.Done
+		if ev.Total <= 0 || ev.BW <= 0 {
+			t.Fatalf("malformed event %+v", ev)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if terminal != StateDone {
+		t.Fatalf("terminal state %q, want %q", terminal, StateDone)
+	}
+	st, err := WaitJob(base, id, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells != st.Total || cells != last {
+		t.Fatalf("streamed %d cells, job total %d", cells, st.Total)
+	}
+}
+
+// TestServerValidationAndNotFound: bad grids and unknown jobs get 4xx, and
+// an unfinished job's result endpoint reports conflict.
+func TestServerValidationAndNotFound(t *testing.T) {
+	_, base := startServer(t, Config{Cache: cache.New(0)})
+	resp, err := http.Post(base+"/jobs", "application/json",
+		strings.NewReader(`{"grid":"nope"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown grid: %s, want 400", resp.Status)
+	}
+	for _, path := range []string{"/jobs/job-999", "/jobs/job-999/result", "/jobs/job-999/events"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s: %s, want 404", path, resp.Status)
+		}
+	}
+	var health string
+	hresp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]byte, 16)
+	n, _ := hresp.Body.Read(b)
+	hresp.Body.Close()
+	health = strings.TrimSpace(string(b[:n]))
+	if health != "ok" {
+		t.Errorf("healthz said %q", health)
+	}
+}
+
+// TestServerGracefulDrain: Shutdown finishes accepted jobs and then
+// rejects new ones; the accepted job's result stays fetchable until the
+// listener closes.
+func TestServerGracefulDrain(t *testing.T) {
+	srv := New(Config{Cache: cache.New(0)})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + srv.Addr()
+	id, err := SubmitJob(base, testRequest(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// The job must have finished during the drain.
+	j := func() *job { srv.mu.Lock(); defer srv.mu.Unlock(); return srv.jobs[id] }()
+	if j == nil {
+		t.Fatal("accepted job vanished")
+	}
+	if st := j.snapshot(); st.State != StateDone {
+		t.Fatalf("drained job state %q, want done (err %q)", st.State, st.Error)
+	}
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadBench runs the full load benchmark once at a small scale: sweep
+// {1, 2}, 4 clients, asserting the harness's own identity and hit-share
+// contracts hold.
+func TestLoadBench(t *testing.T) {
+	var report, csv bytes.Buffer
+	points, err := LoadBench(LoadOptions{
+		Workers:       []int{1, 2},
+		Clients:       4,
+		JobsPerClient: 2,
+		Out:           &report,
+		CSV:           &csv,
+	})
+	if err != nil {
+		t.Fatalf("%v\n%s", err, report.String())
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points, want 2", len(points))
+	}
+	for _, pt := range points {
+		if !pt.Identical || pt.MinHitShare < 0.9 || pt.Hits == 0 {
+			t.Errorf("point %+v violates the warm-job contract", pt)
+		}
+		if pt.WarmJobs != 8 {
+			t.Errorf("point ran %d warm jobs, want 8", pt.WarmJobs)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 3 {
+		t.Errorf("CSV has %d lines, want header + 2 rows:\n%s", len(lines), csv.String())
+	}
+	if !strings.HasPrefix(lines[0], "workers,clients,cold_ms") {
+		t.Errorf("CSV header %q", lines[0])
+	}
+}

@@ -1,0 +1,154 @@
+package tune
+
+import (
+	"reflect"
+	"testing"
+
+	"commoverlap/internal/simnet"
+	"commoverlap/internal/workload"
+)
+
+// TestCellHashParamsSensitivity: every field of Params moves the cell hash.
+// Silent aliasing — two different parameter cells sharing a key — would make
+// the result cache serve one cell's bandwidth for the other, so this is the
+// cache-key integrity contract for the parameter half.
+func TestCellHashParamsSensitivity(t *testing.T) {
+	k := Kernel{Op: "allreduce", Bytes: 4 << 20, Nodes: 8}
+	base := Params{NDup: 2, PPN: 2, BcastLongMsg: 1 << 20, ReduceLongMsg: 1 << 20,
+		ChunkBytes: 256 << 10, EagerLimit: 64 << 10, Alg: "ring", Progress: "rank1"}
+	baseHash := cellHash(k, base, 4)
+	if cellHash(k, base, 4) != baseHash {
+		t.Fatal("hash is not a pure function of its inputs")
+	}
+
+	v := reflect.ValueOf(&base).Elem()
+	tp := v.Type()
+	for i := 0; i < tp.NumField(); i++ {
+		f := v.Field(i)
+		saved := reflect.ValueOf(f.Interface())
+		switch f.Kind() {
+		case reflect.Int, reflect.Int64:
+			f.SetInt(f.Int() + 1)
+		case reflect.String:
+			// Stay inside the valid vocabulary: the hash must separate any
+			// two legal values, not merely legal from garbage.
+			switch tp.Field(i).Name {
+			case "Alg":
+				f.SetString("shift")
+			case "Progress":
+				f.SetString("dma")
+			default:
+				f.SetString(f.String() + "x")
+			}
+		default:
+			t.Fatalf("Params.%s: unhandled kind %s — extend the sensitivity test", tp.Field(i).Name, f.Kind())
+		}
+		if got := cellHash(k, base, 4); got == baseHash {
+			t.Errorf("Params.%s: mutation did not change the cell hash (aliasing)", tp.Field(i).Name)
+		}
+		f.Set(saved)
+	}
+	if cellHash(k, base, 4) != baseHash {
+		t.Fatal("restore failed; test harness bug")
+	}
+
+	// The launch width is hashed too: the same cell measured under a
+	// different parked-rank population is a different measurement.
+	if cellHash(k, base, 8) == baseHash {
+		t.Error("launchPPN: mutation did not change the cell hash")
+	}
+}
+
+// TestCellHashKernelAndTopoSensitivity: the kernel identity — operation,
+// payload, node count and fabric topology — moves the cell hash, including
+// every named topology against every other.
+func TestCellHashKernelAndTopoSensitivity(t *testing.T) {
+	p := Params{NDup: 1, PPN: 1}
+	base := Kernel{Op: "allreduce", Bytes: 4 << 20, Nodes: 8}
+	baseHash := cellHash(base, p, 2)
+	for _, k := range []Kernel{
+		{Op: "reduce", Bytes: 4 << 20, Nodes: 8},
+		{Op: "bcast", Bytes: 4 << 20, Nodes: 8},
+		{Op: "allreduce", Bytes: 8 << 20, Nodes: 8},
+		{Op: "allreduce", Bytes: 4 << 20, Nodes: 16},
+		{Op: "allreduce", Bytes: 4 << 20, Nodes: 8, Topo: "hier"},
+		{Op: "allreduce", Bytes: 4 << 20, Nodes: 8, Topo: "torus"},
+	} {
+		if cellHash(k, p, 2) == baseHash {
+			t.Errorf("kernel %v: hash collides with %v", k, base)
+		}
+	}
+	// The named topologies are pairwise distinct, not just distinct from flat.
+	hier := cellHash(Kernel{Op: "allreduce", Bytes: 4 << 20, Nodes: 8, Topo: "hier"}, p, 2)
+	torus := cellHash(Kernel{Op: "allreduce", Bytes: 4 << 20, Nodes: 8, Topo: "torus"}, p, 2)
+	if hier == torus {
+		t.Error("hier and torus hash identically")
+	}
+}
+
+// TestCellHashProgressSensitivity: every progress-engine spec hashes
+// differently — the engine changes the schedule, so "rank1" vs "rank2" vs
+// "dma" results must never alias.
+func TestCellHashProgressSensitivity(t *testing.T) {
+	k := Kernel{Op: "reduce", Bytes: 1 << 20, Nodes: 4}
+	labels := []string{"", "rank1", "rank2", "dma", "dma@1e9"}
+	seen := map[string]string{}
+	for _, lab := range labels {
+		h := cellHash(k, Params{NDup: 1, PPN: 1, Progress: lab}, 4)
+		if prev, ok := seen[h]; ok {
+			t.Errorf("progress %q and %q share a cell hash", lab, prev)
+		}
+		seen[h] = lab
+	}
+}
+
+// TestCellHashConfigSensitivity walks every field of the machine
+// configuration by reflection and asserts each one moves the hash: a
+// calibration change — including any change to the accelerator preset the
+// workload kernels measure on — must invalidate cached cells rather than
+// silently serve stale physics.
+func TestCellHashConfigSensitivity(t *testing.T) {
+	k := Kernel{Op: "dp", Bytes: 8 << 20, Nodes: 8}
+	p := Params{NDup: 2, PPN: 2}
+	cfg := workload.AcceleratorConfig(k.Nodes)
+	baseHash := hashCell(cfg, k, p, 4)
+
+	var mutate func(prefix string, v reflect.Value)
+	mutate = func(prefix string, v reflect.Value) {
+		tp := v.Type()
+		for i := 0; i < tp.NumField(); i++ {
+			f := v.Field(i)
+			name := prefix + tp.Field(i).Name
+			saved := reflect.ValueOf(f.Interface())
+			switch f.Kind() {
+			case reflect.Int, reflect.Int64:
+				f.SetInt(f.Int() + 1)
+			case reflect.Float64:
+				f.SetFloat(f.Float() + 1)
+			case reflect.String:
+				f.SetString(f.String() + "x")
+			case reflect.Bool:
+				f.SetBool(!f.Bool())
+			case reflect.Struct:
+				mutate(name+".", f)
+				continue
+			default:
+				t.Fatalf("%s: unhandled kind %s — extend the sensitivity test", name, f.Kind())
+			}
+			if got := hashCell(cfg, k, p, 4); got == baseHash {
+				t.Errorf("%s: mutation did not change the cell hash (stale-calibration aliasing)", name)
+			}
+			f.Set(saved)
+		}
+	}
+	mutate("", reflect.ValueOf(&cfg).Elem())
+	if hashCell(cfg, k, p, 4) != baseHash {
+		t.Fatal("restore failed; test harness bug")
+	}
+
+	// The workload kernels hash against the accelerator preset, not the
+	// Stampede2 calibration — the two presets must never share cells.
+	if hashCell(simnet.DefaultConfig(k.Nodes), k, p, 4) == baseHash {
+		t.Error("accelerator preset and default calibration hash identically")
+	}
+}

@@ -17,7 +17,9 @@ import (
 	"fmt"
 	"hash/fnv"
 	"runtime"
+	"sync"
 
+	"commoverlap/internal/cache"
 	"commoverlap/internal/mesh"
 	"commoverlap/internal/mpi"
 	"commoverlap/internal/progress"
@@ -521,6 +523,13 @@ func cellHash(k Kernel, p Params, launchPPN int) string {
 		cfg = workload.AcceleratorConfig(k.Nodes)
 	}
 	cfg.Topo, _ = simnet.TopoByName(k.Topo, k.Nodes) // validated by the caller
+	return hashCell(cfg, k, p, launchPPN)
+}
+
+// hashCell is the hash itself, split out so the cache-key integrity tests
+// can prove that every field of the machine configuration — including the
+// accelerator preset behind the workload kernels — moves the key.
+func hashCell(cfg simnet.Config, k Kernel, p Params, launchPPN int) string {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "v%d|%+v|%s/%d/%d/%s|%s|launch=%d",
 		TableVersion, cfg, k.Op, k.Bytes, k.Nodes, k.Topo, p.label(), launchPPN)
@@ -541,9 +550,26 @@ type Options struct {
 	// Warm, when non-nil, is a previously persisted table: cells whose
 	// provenance hash still matches are reused without re-simulation.
 	Warm *Table
+	// Cache, when non-nil, is a cross-job content-addressed result store
+	// consulted (after the warm table, before simulating) under each cell's
+	// provenance hash. Cells measured by this search — and warm-table
+	// reuses — are written back, so a later identical search, in this
+	// process or any concurrent job sharing the store, hits instead of
+	// re-simulating. The resulting table is byte-identical with or without
+	// a cache at any worker count: the simulator is deterministic, so a
+	// hash hit and a fresh measurement are the same number.
+	Cache *cache.Store
 	// Progress, when non-nil, receives one line per kernel as the search
 	// completes it.
 	Progress func(string)
+	// OnCell, when non-nil, streams cell completions: it receives the
+	// owning kernel's name, the finished cell, and the running
+	// (done, total) counts over the whole search. Calls are serialized by
+	// the search but arrive from worker goroutines in completion order,
+	// which varies with the worker count — only the final done == total
+	// set is deterministic. Duplicate cells report right after their
+	// leader completes.
+	OnCell func(kernel string, c Cell, done, total int)
 }
 
 // Search sweeps the grid over every kernel and returns the tuning table.
@@ -576,6 +602,25 @@ func Search(opts Options) (*Table, error) {
 			cases = append(cases, caseRef{ki, p, cellHash(k, p, opts.Grid.LaunchPPN)})
 		}
 	}
+	// In-job dedup: the provenance hash covers everything that determines a
+	// cell's bandwidth, so two cases with one hash — a kernel listed twice,
+	// a grid axis with repeated values — are the same simulation. Only the
+	// first occurrence (the leader) is fanned to the pool; its duplicates
+	// copy the result. This holds even without a cross-job cache.
+	leaderOf := make(map[string]int) // hash -> leader case index
+	dupOf := make([]int, len(cases)) // case -> leader case index (-1 = leader)
+	followers := make(map[int][]int) // leader case index -> duplicate case indices
+	var leaders []int                // leader case indices, in case order
+	for i, cr := range cases {
+		if li, ok := leaderOf[cr.hash]; ok {
+			dupOf[i] = li
+			followers[li] = append(followers[li], i)
+			continue
+		}
+		leaderOf[cr.hash] = i
+		dupOf[i] = -1
+		leaders = append(leaders, i)
+	}
 	warm := warmIndex(opts.Warm)
 	// Issue expensive replicas first. Grid cases span orders of magnitude
 	// (a 1-rank kernel vs a 216-rank one): under FIFO order a worker that
@@ -585,28 +630,81 @@ func Search(opts Options) (*Table, error) {
 	// so they backfill at the end. The order affects scheduling only;
 	// results stay index-keyed, so the table is still byte-identical at
 	// any worker count.
-	costs := make([]float64, len(cases))
-	for i, cr := range cases {
+	costs := make([]float64, len(leaders))
+	for j, li := range leaders {
+		cr := cases[li]
 		if _, ok := warm[warmKey{kernels[cr.ki].Name(), cr.hash}]; ok {
 			continue // warm hit: no simulation, schedule last
 		}
 		k := kernels[cr.ki]
-		costs[i] = float64(k.Nodes*opts.Grid.LaunchPPN) * float64(k.Bytes)
+		costs[j] = float64(k.Nodes*opts.Grid.LaunchPPN) * float64(k.Bytes)
 	}
-	cells, err := runner.MapOrder(len(cases), opts.Workers, runner.OrderByCostDesc(costs), func(i int) (Cell, error) {
-		cr := cases[i]
+	// emit streams one completed leader cell (and its duplicates) to
+	// OnCell, serialized across the pool's workers.
+	var mu sync.Mutex
+	done := 0
+	emit := func(li int, cell Cell) {
+		if opts.OnCell == nil {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		done++
+		opts.OnCell(kernels[cases[li].ki].Name(), cell, done, len(cases))
+		for _, fi := range followers[li] {
+			dup := cell
+			dup.Dup = true
+			done++
+			opts.OnCell(kernels[cases[fi].ki].Name(), dup, done, len(cases))
+		}
+	}
+	leaderCells, err := runner.MapOrder(len(leaders), opts.Workers, runner.OrderByCostDesc(costs), func(j int) (Cell, error) {
+		li := leaders[j]
+		cr := cases[li]
 		cell := Cell{Params: cr.params, Hash: cr.hash}
 		if bw, ok := warm[warmKey{kernels[cr.ki].Name(), cr.hash}]; ok {
 			cell.BW = bw
 			cell.Warm = true
+			if opts.Cache != nil {
+				// Seed the store: the warm table vouches for the value under
+				// the same provenance hash the cache keys on.
+				opts.Cache.Put(cr.hash, bw)
+			}
+			emit(li, cell)
 			return cell, nil
 		}
-		bw, err := Measure(kernels[cr.ki], cr.params, opts.Grid.LaunchPPN)
+		var bw float64
+		var err error
+		if opts.Cache != nil {
+			bw, cell.Cached, err = opts.Cache.GetOrCompute(cr.hash, func() (float64, error) {
+				return Measure(kernels[cr.ki], cr.params, opts.Grid.LaunchPPN)
+			})
+		} else {
+			bw, err = Measure(kernels[cr.ki], cr.params, opts.Grid.LaunchPPN)
+		}
 		cell.BW = bw
-		return cell, err
+		if err != nil {
+			return cell, err
+		}
+		emit(li, cell)
+		return cell, nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	// Expand leaders back to the full case list: a duplicate is its
+	// leader's cell marked Dup (the marks are in-memory only, so the
+	// persisted table is byte-identical to a dedup-free search).
+	cells := make([]Cell, len(cases))
+	for j, li := range leaders {
+		cells[li] = leaderCells[j]
+	}
+	for i := range cases {
+		if li := dupOf[i]; li >= 0 {
+			c := cells[li]
+			c.Dup = true
+			cells[i] = c
+		}
 	}
 	t := &Table{
 		Version:   TableVersion,
@@ -630,6 +728,27 @@ func Search(opts Options) (*Table, error) {
 		t.Entries = append(t.Entries, e)
 	}
 	return t, nil
+}
+
+// MeasureCached is Measure through a content-addressed store: the cell's
+// provenance hash is looked up first, concurrent identical cells coalesce
+// onto one simulation, and the measured value is stored for the next
+// caller. A nil store degrades to a plain Measure. The returned hit flag
+// reports whether a simulation was avoided.
+func MeasureCached(c *cache.Store, k Kernel, p Params, launchPPN int) (bw float64, hit bool, err error) {
+	if c == nil {
+		bw, err = Measure(k, p, launchPPN)
+		return bw, false, err
+	}
+	if err := k.validate(); err != nil {
+		return 0, false, err
+	}
+	if err := p.validate(); err != nil {
+		return 0, false, err
+	}
+	return c.GetOrCompute(cellHash(k, p, launchPPN), func() (float64, error) {
+		return Measure(k, p, launchPPN)
+	})
 }
 
 // warmKey identifies a reusable cell: same kernel, same provenance hash.
